@@ -1,0 +1,434 @@
+package pioeval_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"pioeval/internal/des"
+	"pioeval/internal/monitor"
+	"pioeval/internal/pfs"
+	"pioeval/internal/predict"
+	"pioeval/internal/replay"
+	"pioeval/internal/skeleton"
+	"pioeval/internal/stats"
+	"pioeval/internal/trace"
+	"pioeval/internal/workload"
+)
+
+// BenchmarkClaimReadWriteShift reproduces the §V finding (Patel et al.,
+// SC'19): as emerging workloads (DL training, analytics) join traditional
+// checkpoint jobs, the storage system stops being write-dominated.
+// Reported: read fraction of bytes moved at 0%, 50%, 100% emerging share.
+func BenchmarkClaimReadWriteShift(b *testing.B) {
+	readFraction := func(emergingShare float64) float64 {
+		e := des.NewEngine(201)
+		fs := pfs.New(e, ssdCluster())
+		nJobs := 4
+		nEmerging := int(emergingShare * float64(nJobs))
+		for j := 0; j < nJobs; j++ {
+			if j < nEmerging {
+				h := workload.NewHarness(e, fs, 2, fmt.Sprintf("dl%d", j), nil)
+				workload.RunDL(h, workload.DLConfig{
+					Workers: 2, Samples: 256, SampleSize: 64 << 10,
+					SamplesPerFile: 64, Epochs: 3, Shuffle: true,
+					Path: fmt.Sprintf("/ds%d", j),
+				})
+			} else {
+				h := workload.NewHarness(e, fs, 2, fmt.Sprintf("ck%d", j), nil)
+				workload.RunCheckpoint(h, workload.CheckpointConfig{
+					Ranks: 2, BytesPerRank: 16 << 20, Steps: 3,
+					Path: fmt.Sprintf("/ck%d", j),
+				})
+			}
+		}
+		r, w := fs.TotalBytes()
+		if r+w == 0 {
+			return 0
+		}
+		return float64(r) / float64(r+w)
+	}
+	for i := 0; i < b.N; i++ {
+		f0 := readFraction(0)
+		f50 := readFraction(0.5)
+		f100 := readFraction(1)
+		if !(f0 < f50 && f50 < f100) {
+			b.Fatalf("read fraction not increasing with emerging share: %.2f %.2f %.2f", f0, f50, f100)
+		}
+		if f0 > 0.1 {
+			b.Fatalf("pure checkpoint should be write-dominated, read frac %.2f", f0)
+		}
+		if f100 < 0.5 {
+			b.Fatalf("pure DL should be read-dominated, read frac %.2f", f100)
+		}
+		b.ReportMetric(f0, "readfrac_0pct")
+		b.ReportMetric(f50, "readfrac_50pct")
+		b.ReportMetric(f100, "readfrac_100pct")
+	}
+}
+
+// BenchmarkClaimDLRandomSmall reproduces §V-B (Chowdhury et al.): DL
+// training's randomly shuffled small reads achieve a fraction of the
+// bandwidth the same PFS delivers for large sequential I/O. Reported:
+// sequential MB/s, shuffled-DL MB/s, gap factor.
+func BenchmarkClaimDLRandomSmall(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		eSeq := des.NewEngine(202)
+		hSeq := workload.NewHarness(eSeq, pfs.New(eSeq, hddCluster()), 4, "ior", nil)
+		ior := workload.RunIOR(hSeq, workload.IORConfig{
+			Ranks: 4, BlockSize: 16 << 20, TransferSize: 4 << 20,
+			SharedFile: false, ReadBack: true, StripeCount: 1, StripeSize: 1 << 20,
+		})
+
+		eDL := des.NewEngine(202)
+		hDL := workload.NewHarness(eDL, pfs.New(eDL, hddCluster()), 4, "dl", nil)
+		dl := workload.RunDL(hDL, workload.DLConfig{
+			Workers: 4, Samples: 512, SampleSize: 128 << 10,
+			SamplesPerFile: 128, Epochs: 1, Shuffle: true,
+		})
+
+		gap := ior.ReadMBps / dl.ReadMBps
+		if gap <= 2 {
+			b.Fatalf("DL random small reads should be >2x slower: seq %.1f vs dl %.1f MB/s", ior.ReadMBps, dl.ReadMBps)
+		}
+		b.ReportMetric(ior.ReadMBps, "seq_MB/s")
+		b.ReportMetric(dl.ReadMBps, "dl_MB/s")
+		b.ReportMetric(gap, "gap_x")
+	}
+}
+
+// BenchmarkClaimWorkflowMetadata reproduces §V-C: data-intensive workflows
+// are metadata-intensive and small-transaction compared to bulk-synchronous
+// checkpoints. Reported: MDS ops per MB for each.
+func BenchmarkClaimWorkflowMetadata(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		eW := des.NewEngine(203)
+		fsW := pfs.New(eW, ssdCluster())
+		wf := workload.RunWorkflow(eW, fsW, workload.ChainWorkflow(8, 8, 256<<10), nil)
+
+		eC := des.NewEngine(203)
+		fsC := pfs.New(eC, ssdCluster())
+		h := workload.NewHarness(eC, fsC, 4, "ck", nil)
+		before := fsC.MDSStats().TotalOps
+		ck := workload.RunCheckpoint(h, workload.CheckpointConfig{Ranks: 4, BytesPerRank: 16 << 20, Steps: 2})
+		ckOps := fsC.MDSStats().TotalOps - before
+		ckPerMB := float64(ckOps) / (float64(ck.TotalBytes) / 1e6)
+
+		if wf.MetaOpsPerMB <= 3*ckPerMB {
+			b.Fatalf("workflow %.2f ops/MB should dwarf checkpoint %.2f ops/MB", wf.MetaOpsPerMB, ckPerMB)
+		}
+		b.ReportMetric(wf.MetaOpsPerMB, "wf_ops/MB")
+		b.ReportMetric(ckPerMB, "ckpt_ops/MB")
+		b.ReportMetric(wf.MetaOpsPerMB/ckPerMB, "ratio_x")
+	}
+}
+
+// accessTimeDataset runs single-rank sequential reads of a fixed volume at
+// varying transfer sizes on the HDD cluster and returns (transferSize) ->
+// total read time samples — the file-access-time prediction problem of
+// Schmid & Kunkel. The response is nonlinear in transfer size
+// (ops * latency + volume/bandwidth ~ a/s + b).
+func accessTimeDataset(sizes []int64, volume int64) ([][]float64, []float64) {
+	var X [][]float64
+	var y []float64
+	for _, ts := range sizes {
+		e := des.NewEngine(204)
+		fs := pfs.New(e, hddCluster())
+		c := fs.NewClient("cn0")
+		var dur des.Time
+		ts := ts
+		e.Spawn("app", func(p *des.Proc) {
+			h, _ := c.Create(p, "/f", 1, 1<<20)
+			h.Write(p, 0, volume)
+			start := p.Now()
+			for off := int64(0); off < volume; off += ts {
+				h.Read(p, off, ts)
+			}
+			dur = p.Now() - start
+			h.Close(p)
+		})
+		e.Run(des.MaxTime)
+		X = append(X, []float64{float64(ts)})
+		y = append(y, dur.Seconds()*1e3) // ms
+	}
+	return X, y
+}
+
+// BenchmarkClaimNNvsLinear reproduces §IV-B2 (Schmid & Kunkel): a neural
+// network predicts file access times with lower error than a linear model.
+// Reported: NN MAE, linear MAE, improvement factor.
+func BenchmarkClaimNNvsLinear(b *testing.B) {
+	var trainSizes, testSizes []int64
+	for s := int64(16 << 10); s <= 4<<20; s = s * 5 / 4 {
+		trainSizes = append(trainSizes, s)
+		testSizes = append(testSizes, s*9/8)
+	}
+	Xtr, ytr := accessTimeDataset(trainSizes, 16<<20)
+	Xte, yte := accessTimeDataset(testSizes, 16<<20)
+	for i := 0; i < b.N; i++ {
+		nn := predict.NewNN(1, predict.DefaultNNConfig())
+		if err := nn.Train(Xtr, ytr); err != nil {
+			b.Fatal(err)
+		}
+		lin, err := stats.MultipleRegression(Xtr, ytr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		nnMAE := predict.MAE(nn.Predict, Xte, yte)
+		linMAE := predict.MAE(lin.Predict, Xte, yte)
+		if nnMAE >= linMAE {
+			b.Fatalf("NN MAE %.3f should beat linear %.3f on the nonlinear access-time surface", nnMAE, linMAE)
+		}
+		b.ReportMetric(nnMAE, "nn_mae_ms")
+		b.ReportMetric(linMAE, "lin_mae_ms")
+		b.ReportMetric(linMAE/nnMAE, "improvement_x")
+	}
+}
+
+// iorTimeDataset sweeps IOR parameters (ranks, transfer size, pattern,
+// shared file) on the simulator and returns feature vectors with the
+// resulting write times — the multi-feature performance-prediction problem
+// of Sun et al.
+func iorTimeDataset(seed int64) ([][]float64, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	var X [][]float64
+	var y []float64
+	for n := 0; n < 48; n++ {
+		ranks := 2 << rng.Intn(3)                // 2, 4, 8
+		ts := int64(64<<10) << rng.Intn(5)       // 64K .. 1M
+		pattern := workload.Pattern(rng.Intn(2)) // sequential or strided
+		shared := rng.Intn(2) == 1
+		e := des.NewEngine(205)
+		h := workload.NewHarness(e, pfs.New(e, hddCluster()), ranks, fmt.Sprintf("sw%d", n), nil)
+		rep := workload.RunIOR(h, workload.IORConfig{
+			Ranks: ranks, BlockSize: 4 << 20, TransferSize: ts,
+			Pattern: pattern, SharedFile: shared,
+		})
+		X = append(X, []float64{float64(ranks), float64(ts), float64(pattern), boolTo(shared)})
+		y = append(y, rep.WriteTime.Seconds()*1e3)
+	}
+	return X, y
+}
+
+func boolTo(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// BenchmarkClaimRandomForest reproduces §IV-B2 (Sun et al.): a random
+// forest predicts I/O time across inputs and scales better than a linear
+// model. Reported: RF MAE, linear MAE, improvement factor.
+func BenchmarkClaimRandomForest(b *testing.B) {
+	Xtr, ytr := iorTimeDataset(1)
+	Xte, yte := iorTimeDataset(2)
+	for i := 0; i < b.N; i++ {
+		rf, err := predict.TrainForest(Xtr, ytr, predict.DefaultForestConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		lin, err := stats.MultipleRegression(Xtr, ytr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rfMAE := predict.MAE(rf.Predict, Xte, yte)
+		linMAE := predict.MAE(lin.Predict, Xte, yte)
+		if rfMAE >= linMAE {
+			b.Fatalf("RF MAE %.3f should beat linear %.3f", rfMAE, linMAE)
+		}
+		b.ReportMetric(rfMAE, "rf_mae_ms")
+		b.ReportMetric(linMAE, "lin_mae_ms")
+		b.ReportMetric(linMAE/rfMAE, "improvement_x")
+	}
+}
+
+// checkpointTraceRecords records a looped checkpoint workload and returns
+// its POSIX trace.
+func checkpointTraceRecords(ranks, steps int) []trace.Record {
+	e := des.NewEngine(206)
+	fs := pfs.New(e, ssdCluster())
+	col := trace.NewCollector()
+	h := workload.NewHarness(e, fs, ranks, "tr", col)
+	workload.RunCheckpoint(h, workload.CheckpointConfig{
+		Ranks: ranks, BytesPerRank: 4 << 20, Steps: steps, TransferSize: 1 << 20,
+		ReuseFile: true,
+	})
+	return col.Records()
+}
+
+// BenchmarkClaimTraceCompression reproduces §IV-B3 (Hao et al.): suffix-
+// structure-guided folding compresses looped traces by an order of
+// magnitude, and the generated skeleton replays the same I/O. Reported:
+// compression ratio, replay byte fidelity.
+func BenchmarkClaimTraceCompression(b *testing.B) {
+	recs := checkpointTraceRecords(4, 16)
+	for i := 0; i < b.N; i++ {
+		rankOps := replay.FromTrace(recs)
+		var ratioSum float64
+		var origBytes, skelBytes int64
+		folded := make([][]skeleton.ConcreteOp, len(rankOps))
+		for r, ops := range rankOps {
+			toks := skeleton.TokenizeQ(filterRank(recs, r), 0)
+			prog := skeleton.Fold(toks)
+			ratioSum += prog.CompressionRatio()
+			folded[r] = prog.Ops()
+			for _, op := range ops {
+				if op.Op == "write" {
+					origBytes += op.Size
+				}
+			}
+			for _, op := range folded[r] {
+				if op.Op == "write" {
+					skelBytes += op.Size
+				}
+			}
+		}
+		ratio := ratioSum / float64(len(rankOps))
+		if ratio < 5 {
+			b.Fatalf("compression ratio %.1f, want >= 5 on a 16-step loop", ratio)
+		}
+		if skelBytes != origBytes {
+			b.Fatalf("skeleton bytes %d != original %d", skelBytes, origBytes)
+		}
+		// The longest repeated phrase should span at least one loop body.
+		syms := skeleton.TokensToSymbols(skeleton.TokenizeQ(filterRank(recs, 0), 0))
+		_, lrs := skeleton.LongestRepeat(syms)
+		b.ReportMetric(ratio, "compression_x")
+		b.ReportMetric(float64(lrs), "longest_repeat")
+		b.ReportMetric(1.0, "byte_fidelity")
+	}
+}
+
+func filterRank(recs []trace.Record, rank int) []trace.Record {
+	return trace.ByRank(recs, rank)
+}
+
+// BenchmarkClaimExtrapolation reproduces §IV-A1 (ScalaIOExtrap): a trace
+// recorded at 4 ranks extrapolates to 16 ranks; the extrapolated replay's
+// makespan tracks a direct 16-rank run. Reported: ratio.
+func BenchmarkClaimExtrapolation(b *testing.B) {
+	record := func(ranks int) ([]trace.Record, des.Time) {
+		e := des.NewEngine(207)
+		fs := pfs.New(e, ssdCluster())
+		col := trace.NewCollector()
+		h := workload.NewHarness(e, fs, ranks, "xp", col)
+		rep := workload.RunCheckpoint(h, workload.CheckpointConfig{
+			Ranks: ranks, BytesPerRank: 4 << 20, Steps: 4,
+			SharedFile: true, ComputeTime: 10 * des.Millisecond,
+		})
+		return col.Records(), rep.Makespan
+	}
+	smallRecs, _ := record(4)
+	_, directMakespan := record(16)
+	for i := 0; i < b.N; i++ {
+		small := replay.FromTrace(smallRecs)
+		big, err := replay.Extrapolate(small, 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		e := des.NewEngine(208)
+		res, err := replay.Run(e, pfs.New(e, ssdCluster()), big, replay.Options{Timed: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio := float64(res.Makespan) / float64(directMakespan)
+		if ratio < 0.5 || ratio > 2 {
+			b.Fatalf("extrapolated/direct makespan ratio %.2f outside [0.5, 2]", ratio)
+		}
+		b.ReportMetric(res.Makespan.Seconds()*1e3, "extrap_ms")
+		b.ReportMetric(directMakespan.Seconds()*1e3, "direct_ms")
+		b.ReportMetric(ratio, "ratio")
+	}
+}
+
+// BenchmarkClaimCollectiveIO reproduces §IV-C / C8: two-phase collective
+// MPI-IO beats independent I/O on fine-grained strided shared-file access,
+// and the advantage shrinks as transfers grow. Reported: speedup at 16KB
+// and at 1MB transfers.
+func BenchmarkClaimCollectiveIO(b *testing.B) {
+	speedup := func(transfer int64) float64 {
+		run := func(collective bool) float64 {
+			e := des.NewEngine(209)
+			h := workload.NewHarness(e, pfs.New(e, hddCluster()), 8, "c8", nil)
+			rep := workload.RunIOR(h, workload.IORConfig{
+				Ranks: 8, BlockSize: 2 << 20, TransferSize: transfer,
+				SharedFile: true, Pattern: workload.Strided, Collective: collective,
+			})
+			return rep.WriteMBps
+		}
+		return run(true) / run(false)
+	}
+	for i := 0; i < b.N; i++ {
+		small := speedup(16 << 10)
+		large := speedup(1 << 20)
+		if small <= 1 {
+			b.Fatalf("collective should win at 16KB transfers, speedup %.2f", small)
+		}
+		if small <= large {
+			b.Fatalf("collective advantage should shrink with transfer size: %.2f vs %.2f", small, large)
+		}
+		b.ReportMetric(small, "speedup_16KB")
+		b.ReportMetric(large, "speedup_1MB")
+	}
+}
+
+// BenchmarkClaimComputeStorageGap reproduces the §I/§VI premise: as compute
+// gets faster while storage stays fixed, the I/O fraction of runtime grows.
+// Reported: I/O fraction at 1x, 4x, 16x compute speed.
+func BenchmarkClaimComputeStorageGap(b *testing.B) {
+	ioFraction := func(computeSpeedup int) float64 {
+		e := des.NewEngine(210)
+		h := workload.NewHarness(e, pfs.New(e, hddCluster()), 4, "gap", nil)
+		rep := workload.RunCheckpoint(h, workload.CheckpointConfig{
+			Ranks: 4, BytesPerRank: 8 << 20, Steps: 3,
+			ComputeTime: 400 * des.Millisecond / des.Time(computeSpeedup),
+		})
+		return rep.IOFraction
+	}
+	for i := 0; i < b.N; i++ {
+		f1, f4, f16 := ioFraction(1), ioFraction(4), ioFraction(16)
+		if !(f1 < f4 && f4 < f16) {
+			b.Fatalf("I/O fraction should grow with compute speed: %.3f %.3f %.3f", f1, f4, f16)
+		}
+		b.ReportMetric(f1, "iofrac_1x")
+		b.ReportMetric(f4, "iofrac_4x")
+		b.ReportMetric(f16, "iofrac_16x")
+	}
+}
+
+// BenchmarkClaimEndToEndCorrelation reproduces §IV-A2/C10: joining job-level
+// activity with server-side sampled rates identifies interfering job pairs.
+// Reported: interferences found among concurrent vs disjoint pairs.
+func BenchmarkClaimEndToEndCorrelation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := des.NewEngine(211)
+		fs := pfs.New(e, hddCluster())
+		sampler := monitor.NewSampler(e, fs, 5*des.Millisecond, 10*des.Second)
+		var jobs []monitor.JobActivity
+		// Jobs A and B run concurrently; job C runs after both.
+		runJob := func(name string, delay des.Time) {
+			c := fs.NewClient("cn" + name)
+			e.SpawnAt(delay, name, func(p *des.Proc) {
+				start := p.Now()
+				h, _ := c.Create(p, "/"+name, 0, 0)
+				for k := int64(0); k < 24; k++ {
+					h.Write(p, k*(1<<20), 1<<20)
+				}
+				h.Close(p)
+				jobs = append(jobs, monitor.JobActivity{JobID: name, Start: start, End: p.Now()})
+			})
+		}
+		runJob("A", 0)
+		runJob("B", 0)
+		runJob("C", 2*des.Second)
+		e.Run(des.MaxTime)
+		sampler.Stop()
+		inter := monitor.Correlate(jobs, sampler.DeriveRates(), 0.5)
+		if len(inter) != 1 {
+			b.Fatalf("expected exactly the A-B interference, got %+v", inter)
+		}
+		b.ReportMetric(float64(len(inter)), "pairs_found")
+		b.ReportMetric(inter[0].PeakUtil, "peak_util")
+	}
+}

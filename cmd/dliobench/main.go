@@ -1,0 +1,61 @@
+// Command dliobench runs the DLIO-like deep-learning training I/O
+// benchmark: dataset generation followed by shuffled mini-batch epochs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"pioeval/internal/cli"
+	"pioeval/internal/des"
+	"pioeval/internal/pfs"
+	"pioeval/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dliobench: ")
+	fs := flag.NewFlagSet("dliobench", flag.ExitOnError)
+	var cluster cli.ClusterFlags
+	cluster.Register(fs)
+	workers := fs.Int("workers", 4, "data-loader workers")
+	samples := fs.Int("samples", 2048, "dataset samples")
+	sampleStr := fs.String("sample-size", "128KB", "bytes per sample")
+	perFile := fs.Int("samples-per-file", 256, "samples packed per dataset file")
+	batch := fs.Int("batch", 32, "mini-batch size")
+	epochs := fs.Int("epochs", 2, "training epochs")
+	noShuffle := fs.Bool("no-shuffle", false, "disable per-epoch shuffling")
+	computeStr := fs.String("compute", "0s", "compute time per batch (e.g. 5ms)")
+	_ = fs.Parse(os.Args[1:])
+
+	cfg, err := cluster.Config()
+	if err != nil {
+		log.Fatal(err)
+	}
+	sampleSize, err := cli.ParseSize(*sampleStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	compute, err := cli.ParseDuration(*computeStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	e := des.NewEngine(cluster.Seed)
+	h := workload.NewHarness(e, pfs.New(e, cfg), *workers, "worker", nil)
+	rep := workload.RunDL(h, workload.DLConfig{
+		Workers: *workers, Samples: *samples, SampleSize: sampleSize,
+		SamplesPerFile: *perFile, BatchSize: *batch, Epochs: *epochs,
+		Shuffle: !*noShuffle, ComputePerBatch: compute,
+	})
+
+	fmt.Printf("DLIO-like benchmark: %d samples x %s, %d workers, %d epochs, shuffle=%v\n",
+		*samples, cli.FormatSize(sampleSize), *workers, *epochs, !*noShuffle)
+	fmt.Printf("  dataset generation: %v\n", rep.GenTime)
+	for i, d := range rep.EpochTime {
+		fmt.Printf("  epoch %d: %v\n", i, d)
+	}
+	fmt.Printf("  read throughput: %.2f MB/s (%.0f samples/s)\n", rep.ReadMBps, rep.SamplesPerSec)
+}

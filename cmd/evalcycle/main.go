@@ -1,0 +1,98 @@
+// Command evalcycle runs the paper's Figure-4 iterative evaluation loop:
+// measure a workload on a baseline cluster, model it, predict and simulate
+// a target cluster, and feed measurements back until the prediction
+// converges.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"pioeval/internal/blockdev"
+	"pioeval/internal/core"
+	"pioeval/internal/iolang"
+	"pioeval/internal/pfs"
+)
+
+const defaultScript = `
+workload "default" {
+    ranks 4
+    loop 6 {
+        compute 4ms
+        write "/out" offset=rank*16MB size=4MB chunk=1MB
+        read "/out" offset=rank*16MB size=1MB chunk=256KB
+    }
+}
+`
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("evalcycle: ")
+	fs := flag.NewFlagSet("evalcycle", flag.ExitOnError)
+	baseDev := fs.String("baseline", "ssd", "baseline OST device: hdd, ssd, nvme")
+	targetDev := fs.String("target", "hdd", "target OST device: hdd, ssd, nvme")
+	iters := fs.Int("iterations", 4, "max feedback iterations")
+	tol := fs.Float64("tolerance", 0.25, "relative error tolerance")
+	seed := fs.Int64("seed", 42, "simulation seed")
+	_ = fs.Parse(os.Args[1:])
+
+	script := defaultScript
+	if fs.NArg() == 1 {
+		b, err := os.ReadFile(fs.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		script = string(b)
+	}
+	wl, err := iolang.Parse(script)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	mkCfg := func(dev string) pfs.Config {
+		cfg := pfs.DefaultConfig()
+		cfg.NumIONodes = 0
+		switch dev {
+		case "hdd":
+			cfg.OSTDevice = func() blockdev.Model { return blockdev.DefaultHDD() }
+		case "ssd":
+			cfg.OSTDevice = func() blockdev.Model { return blockdev.DefaultSSD() }
+		case "nvme":
+			cfg.OSTDevice = func() blockdev.Model { return blockdev.DefaultNVMe() }
+		default:
+			log.Fatalf("unknown device %q", dev)
+		}
+		return cfg
+	}
+
+	res, err := core.RunCycle(core.CycleConfig{
+		Seed:          *seed,
+		Baseline:      mkCfg(*baseDev),
+		Target:        mkCfg(*targetDev),
+		Source:        core.SyntheticSource{Workload: wl},
+		MaxIterations: *iters,
+		Tolerance:     *tol,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("Phase 1 (measurement, %s baseline): %d trace records, makespan %v\n",
+		*baseDev, res.TraceRecords, res.BaselineMakespan)
+	fmt.Printf("  characterization: rw-ratio %.2f, seq-fraction %.2f, dominant access %s\n",
+		res.ReadWriteRatio, res.SeqFraction, res.DominantSize)
+	fmt.Printf("Phase 2 (modeling): skeleton compression %.1fx, write fit latency(ns) = %.3g + %.3g*size\n",
+		res.SkeletonRatio, res.WriteFit.Intercept, res.WriteFit.Slope)
+	fmt.Printf("Phase 3 (simulation of %s target, with feedback):\n", *targetDev)
+	for _, it := range res.Iterations {
+		fmt.Printf("  iter %d: predicted %v, measured %v, rel.err %.3f (%d training samples)\n",
+			it.Index, it.PredictedMakespan, it.MeasuredMakespan, it.RelError, it.TrainingSamples)
+	}
+	if res.Converged {
+		fmt.Printf("converged within tolerance %.2f\n", *tol)
+	} else {
+		fmt.Printf("did not converge within %d iterations\n", *iters)
+	}
+}

@@ -1,0 +1,52 @@
+// Command mdtestbench runs the mdtest-like metadata benchmark against a
+// simulated parallel file system and prints per-phase operation rates.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"pioeval/internal/cli"
+	"pioeval/internal/des"
+	"pioeval/internal/pfs"
+	"pioeval/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mdtestbench: ")
+	fs := flag.NewFlagSet("mdtestbench", flag.ExitOnError)
+	var cluster cli.ClusterFlags
+	cluster.Register(fs)
+	ranks := fs.Int("ranks", 4, "client ranks")
+	files := fs.Int("files", 256, "files per rank")
+	writeStr := fs.String("write", "0B", "bytes written into each file (mdtest -w)")
+	_ = fs.Parse(os.Args[1:])
+
+	cfg, err := cluster.Config()
+	if err != nil {
+		log.Fatal(err)
+	}
+	writeBytes, err := cli.ParseSize(*writeStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	e := des.NewEngine(cluster.Seed)
+	sim := pfs.New(e, cfg)
+	h := workload.NewHarness(e, sim, *ranks, "cn", nil)
+	rep := workload.RunMDTest(h, workload.MDTestConfig{
+		Ranks: *ranks, FilesPerRank: *files, WriteBytes: writeBytes,
+	})
+
+	fmt.Printf("mdtest-like benchmark: %d ranks x %d files (MDS threads: %d)\n",
+		*ranks, *files, cfg.MDSThreads)
+	fmt.Printf("  %-10s %12s %14s\n", "phase", "time", "ops/sec")
+	fmt.Printf("  %-10s %12v %14.0f\n", "create", rep.CreateTime, rep.CreatesPerS)
+	fmt.Printf("  %-10s %12v %14.0f\n", "stat", rep.StatTime, rep.StatsPerS)
+	fmt.Printf("  %-10s %12v %14.0f\n", "remove", rep.RemoveTime, rep.RemovesPerS)
+	st := sim.MDSStats()
+	fmt.Printf("  MDS total ops: %d\n", st.TotalOps)
+}

@@ -1,0 +1,71 @@
+// Command replayer replays a recorded trace against a (possibly different)
+// simulated cluster, optionally extrapolating the rank count first — the
+// ScalaIOExtrap workflow.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"pioeval/internal/cli"
+	"pioeval/internal/des"
+	"pioeval/internal/pfs"
+	"pioeval/internal/replay"
+	"pioeval/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("replayer: ")
+	fs := flag.NewFlagSet("replayer", flag.ExitOnError)
+	var cluster cli.ClusterFlags
+	cluster.Register(fs)
+	timed := fs.Bool("timed", false, "preserve recorded inter-op compute time")
+	extrapolate := fs.Int("extrapolate", 0, "extrapolate the trace to this many ranks before replay")
+	_ = fs.Parse(os.Args[1:])
+
+	if fs.NArg() != 1 {
+		log.Fatal("usage: replayer [flags] <trace file>")
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	var recs []trace.Record
+	if strings.HasSuffix(fs.Arg(0), ".json") {
+		recs, err = trace.ReadJSON(f)
+	} else {
+		recs, err = trace.ReadBinary(f)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rankOps := replay.FromTrace(recs)
+	fmt.Printf("loaded %d records (%d ranks)\n", len(recs), len(rankOps))
+	if *extrapolate > 0 {
+		rankOps, err = replay.Extrapolate(rankOps, *extrapolate)
+		if err != nil {
+			log.Fatalf("extrapolation failed: %v", err)
+		}
+		fmt.Printf("extrapolated to %d ranks\n", *extrapolate)
+	}
+
+	cfg, err := cluster.Config()
+	if err != nil {
+		log.Fatal(err)
+	}
+	e := des.NewEngine(cluster.Seed)
+	res, err := replay.Run(e, pfs.New(e, cfg), rankOps, replay.Options{Timed: *timed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("replayed %d ops: read %s, wrote %s\n",
+		res.Ops, cli.FormatSize(res.BytesRead), cli.FormatSize(res.BytesWritten))
+	fmt.Printf("makespan %v, aggregate bandwidth %.2f MB/s\n",
+		res.Makespan, res.Bandwidth()/1e6)
+}

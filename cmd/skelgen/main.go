@@ -1,0 +1,63 @@
+// Command skelgen compresses a recorded trace into per-rank I/O skeletons
+// (loop programs) and emits generated Go benchmark source — the Skel / Hao
+// et al. pipeline.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"pioeval/internal/replay"
+	"pioeval/internal/skeleton"
+	"pioeval/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("skelgen: ")
+	fs := flag.NewFlagSet("skelgen", flag.ExitOnError)
+	emit := fs.Bool("emit", false, "print generated Go source for each rank")
+	noThink := fs.Bool("no-think", false, "drop compute gaps for maximum foldability")
+	_ = fs.Parse(os.Args[1:])
+
+	if fs.NArg() != 1 {
+		log.Fatal("usage: skelgen [flags] <trace file>")
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	var recs []trace.Record
+	if strings.HasSuffix(fs.Arg(0), ".json") {
+		recs, err = trace.ReadJSON(f)
+	} else {
+		recs, err = trace.ReadBinary(f)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	quantum := skeleton.ThinkQuantum
+	if *noThink {
+		quantum = 0
+	}
+	ranks := len(replay.FromTrace(recs))
+	fmt.Printf("trace: %d records, %d ranks\n", len(recs), ranks)
+	for r := 0; r < ranks; r++ {
+		rankRecs := trace.ByRank(recs, r)
+		toks := skeleton.TokenizeQ(rankRecs, quantum)
+		prog := skeleton.Fold(toks)
+		prog.Rank = r
+		syms := skeleton.TokensToSymbols(toks)
+		_, lrs := skeleton.LongestRepeat(syms)
+		fmt.Printf("rank %d: %d ops -> %d nodes (%.1fx compression, longest repeat %d)\n",
+			r, len(toks), prog.Size(), prog.CompressionRatio(), lrs)
+		if *emit {
+			fmt.Println(prog.RenderGo(fmt.Sprintf("replayRank%d", r)))
+		}
+	}
+}

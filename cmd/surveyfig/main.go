@@ -1,0 +1,40 @@
+// Command surveyfig regenerates the paper's Figure 3 from the encoded
+// survey corpus: the percentage distribution of the 51 included papers over
+// venue types, publishers, years, and taxonomy categories.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pioeval/internal/corpus"
+)
+
+func main() {
+	fs := flag.NewFlagSet("surveyfig", flag.ExitOnError)
+	listPapers := fs.Bool("papers", false, "list the full corpus")
+	_ = fs.Parse(os.Args[1:])
+
+	fmt.Printf("Survey corpus: %d included papers (Figure 3)\n\n", corpus.Count())
+	section := func(title string, shares []corpus.Share) {
+		fmt.Printf("%s\n", title)
+		for _, s := range shares {
+			bar := strings.Repeat("#", int(s.Percent/2+0.5))
+			fmt.Printf("  %-26s %5.1f%% (%2d) %s\n", s.Label, s.Percent, s.Count, bar)
+		}
+		fmt.Println()
+	}
+	section("By venue type:", corpus.ByVenueType())
+	section("By publisher:", corpus.ByPublisher())
+	section("By year:", corpus.ByYear())
+	section("By taxonomy category (multi-label):", corpus.ByCategory())
+
+	if *listPapers {
+		fmt.Println("Included papers:")
+		for _, p := range corpus.Papers() {
+			fmt.Printf("  [%s] %s (%s %d, %s/%s)\n", p.Key, p.Title, p.Venue, p.Year, p.Type, p.Publisher)
+		}
+	}
+}

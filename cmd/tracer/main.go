@@ -1,0 +1,81 @@
+// Command tracer interprets an iolang workload script against a simulated
+// cluster with multi-level tracing enabled and writes the trace to a file
+// (binary by default, JSON with -json). It is the record half of the
+// record-and-replay workflow; feed the output to replayer or skelgen.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"pioeval/internal/cli"
+	"pioeval/internal/des"
+	"pioeval/internal/iolang"
+	"pioeval/internal/pfs"
+	"pioeval/internal/profile"
+	"pioeval/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tracer: ")
+	fs := flag.NewFlagSet("tracer", flag.ExitOnError)
+	var cluster cli.ClusterFlags
+	cluster.Register(fs)
+	out := fs.String("o", "trace.piot", "output trace file")
+	asJSON := fs.Bool("json", false, "write JSON instead of binary")
+	report := fs.Bool("report", false, "also print a Darshan-like characterization report")
+	_ = fs.Parse(os.Args[1:])
+
+	if fs.NArg() != 1 {
+		log.Fatal("usage: tracer [flags] <workload.iol>")
+	}
+	src, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	wl, err := iolang.Parse(string(src))
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg, err := cluster.Config()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	e := des.NewEngine(cluster.Seed)
+	sim := pfs.New(e, cfg)
+	col := trace.NewCollector()
+	prof := profile.New()
+	prof.Attach(col)
+	rep, err := iolang.Run(e, sim, wl, col)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if *asJSON {
+		err = trace.WriteJSON(f, col.Records())
+	} else {
+		err = trace.WriteBinary(f, col.Records())
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload %q: %d ranks, %d ops, read %s, wrote %s, makespan %v\n",
+		rep.Name, rep.Ranks, rep.Ops,
+		cli.FormatSize(rep.BytesRead), cli.FormatSize(rep.BytesWritten), rep.Makespan)
+	fmt.Printf("trace: %d records -> %s\n", col.Len(), *out)
+	if *report {
+		if err := prof.WriteReport(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+// Record-and-replay with extrapolation: trace a 4-rank run, compress it to
+// a skeleton, extrapolate the trace to 16 ranks, and replay it — comparing
+// the extrapolated replay against a real 16-rank run (the ScalaIOExtrap
+// validation loop).
+//
+//	go run ./examples/recordreplay
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"pioeval/internal/blockdev"
+	"pioeval/internal/des"
+	"pioeval/internal/pfs"
+	"pioeval/internal/replay"
+	"pioeval/internal/skeleton"
+	"pioeval/internal/trace"
+	"pioeval/internal/workload"
+)
+
+func cluster() pfs.Config {
+	cfg := pfs.DefaultConfig()
+	cfg.NumIONodes = 0
+	cfg.OSTDevice = func() blockdev.Model { return blockdev.DefaultSSD() }
+	return cfg
+}
+
+func record(ranks int) ([]trace.Record, des.Time) {
+	e := des.NewEngine(3)
+	fsim := pfs.New(e, cluster())
+	col := trace.NewCollector()
+	h := workload.NewHarness(e, fsim, ranks, "app", col)
+	rep := workload.RunCheckpoint(h, workload.CheckpointConfig{
+		Ranks: ranks, BytesPerRank: 8 << 20, Steps: 4,
+		SharedFile: true, ReuseFile: true, ComputeTime: 10 * des.Millisecond,
+	})
+	return col.Records(), rep.Makespan
+}
+
+func main() {
+	log.SetFlags(0)
+
+	// Record at small scale.
+	recs, smallMakespan := record(4)
+	fmt.Printf("recorded 4-rank checkpoint: %d trace records, makespan %v\n", len(recs), smallMakespan)
+
+	// The trace on disk: binary vs JSON.
+	var bin, js bytes.Buffer
+	if err := trace.WriteBinary(&bin, recs); err != nil {
+		log.Fatal(err)
+	}
+	if err := trace.WriteJSON(&js, recs); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trace size: %d B binary vs %d B JSON (%.1fx smaller)\n",
+		bin.Len(), js.Len(), float64(js.Len())/float64(bin.Len()))
+
+	// Skeletonize rank 0.
+	toks := skeleton.TokenizeQ(trace.ByRank(recs, 0), 0)
+	prog := skeleton.Fold(toks)
+	fmt.Printf("rank-0 skeleton: %d ops -> %d nodes (%.1fx compression)\n",
+		len(toks), prog.Size(), prog.CompressionRatio())
+
+	// Extrapolate to 16 ranks and replay.
+	small := replay.FromTrace(recs)
+	big, err := replay.Extrapolate(small, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	e := des.NewEngine(4)
+	res, err := replay.Run(e, pfs.New(e, cluster()), big, replay.Options{Timed: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Validate against a direct 16-rank run.
+	_, directMakespan := record(16)
+	fmt.Printf("extrapolated 16-rank replay: makespan %v\n", res.Makespan)
+	fmt.Printf("direct 16-rank run:          makespan %v\n", directMakespan)
+	fmt.Printf("extrapolation error: %.1f%%\n",
+		100*abs(float64(res.Makespan)-float64(directMakespan))/float64(directMakespan))
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

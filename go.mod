@@ -1,0 +1,3 @@
+module pioeval
+
+go 1.22

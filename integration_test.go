@@ -1,0 +1,306 @@
+package pioeval_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"pioeval/internal/core"
+	"pioeval/internal/des"
+	"pioeval/internal/iolang"
+	"pioeval/internal/monitor"
+	"pioeval/internal/pfs"
+	"pioeval/internal/predict"
+	"pioeval/internal/profile"
+	"pioeval/internal/replay"
+	"pioeval/internal/stats"
+	"pioeval/internal/trace"
+	"pioeval/internal/workload"
+)
+
+// TestIOWASourceConsumerMatrix exercises the core abstraction end to end:
+// every workload source feeding every consumer must move the same bytes.
+func TestIOWASourceConsumerMatrix(t *testing.T) {
+	script := `
+workload "matrix" {
+    ranks 4
+    loop 3 {
+        write "/data" offset=rank*4MB size=1MB chunk=256KB
+        read "/data" offset=rank*4MB size=512KB
+    }
+}
+`
+	wl, err := iolang.Parse(script)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Materialize a trace source by running the synthetic source once.
+	synthOps, err := core.SyntheticSource{Workload: wl}.Ops()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eRec := des.NewEngine(81)
+	colRec := trace.NewCollector()
+	if _, err := replay.RunTraced(eRec, pfs.New(eRec, ssdCluster()), synthOps, replay.Options{}, colRec); err != nil {
+		t.Fatal(err)
+	}
+
+	// Materialize a profile source from the recorded trace.
+	prof := profile.New()
+	prof.IngestAll(colRec.Records())
+
+	sources := []core.Source{
+		core.SyntheticSource{Workload: wl},
+		core.TraceSource{Records: colRec.Records()},
+		core.ProfileSource{Files: prof.PerFile(), Ranks: 4},
+	}
+	consumers := []core.Consumer{
+		core.ReplayConsumer{},
+		core.SkeletonConsumer{},
+	}
+
+	wantWritten := int64(4 * 3 << 20) // 4 ranks x 3 x 1MB
+	for _, src := range sources {
+		ops, err := src.Ops()
+		if err != nil {
+			t.Fatalf("%s: %v", src.Name(), err)
+		}
+		for _, con := range consumers {
+			e := des.NewEngine(82)
+			res, err := con.Consume(e, pfs.New(e, ssdCluster()), ops)
+			if err != nil {
+				t.Fatalf("%s->%s: %v", src.Name(), con.Name(), err)
+			}
+			if src.Name() == "profile" {
+				// Profile-derived workloads use bucket-representative
+				// access sizes, so volumes match only within the bucket
+				// ratio (documented 2x bound).
+				if ratio := float64(res.BytesWritten) / float64(wantWritten); ratio < 0.5 || ratio > 2 {
+					t.Errorf("%s->%s wrote %d, want within 2x of %d", src.Name(), con.Name(), res.BytesWritten, wantWritten)
+				}
+			} else if res.BytesWritten != wantWritten {
+				t.Errorf("%s->%s wrote %d, want %d", src.Name(), con.Name(), res.BytesWritten, wantWritten)
+			}
+		}
+	}
+}
+
+// TestProfileSynthesisApproximatesOriginal closes the Snyder-et-al loop:
+// characterize a run, synthesize a workload from the profile alone, run it,
+// and re-characterize — op counts and byte volumes must match, and the
+// sequentiality classification must be preserved.
+func TestProfileSynthesisApproximatesOriginal(t *testing.T) {
+	e := des.NewEngine(83)
+	fs := pfs.New(e, ssdCluster())
+	col := trace.NewCollector()
+	h := workload.NewHarness(e, fs, 4, "orig", col)
+	workload.RunIOR(h, workload.IORConfig{
+		Ranks: 4, BlockSize: 8 << 20, TransferSize: 512 << 10,
+		SharedFile: true, ReadBack: true,
+	})
+	prof := profile.New()
+	prof.IngestAll(col.Records())
+	origFiles := prof.PerFile()
+
+	ops, err := core.ProfileSource{Files: origFiles, Ranks: 4}.Ops()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2 := des.NewEngine(84)
+	col2 := trace.NewCollector()
+	if _, err := replay.RunTraced(e2, pfs.New(e2, ssdCluster()), ops, replay.Options{}, col2); err != nil {
+		t.Fatal(err)
+	}
+	prof2 := profile.New()
+	prof2.IngestAll(col2.Records())
+	reFiles := prof2.PerFile()
+
+	var origW, reW, origR, reR int64
+	for _, f := range origFiles {
+		origW += f.BytesWritten
+		origR += f.BytesRead
+	}
+	for _, f := range reFiles {
+		reW += f.BytesWritten
+		reR += f.BytesRead
+	}
+	// Bucket-representative sizes mean volumes match within ~2x.
+	if ratio := float64(reW) / float64(origW); ratio < 0.5 || ratio > 2 {
+		t.Errorf("synthesized write volume ratio %.2f", ratio)
+	}
+	if ratio := float64(reR) / float64(origR); ratio < 0.5 || ratio > 2 {
+		t.Errorf("synthesized read volume ratio %.2f", ratio)
+	}
+	if orig, re := prof.SequentialFraction(), prof2.SequentialFraction(); orig > 0.9 && re < 0.7 {
+		t.Errorf("sequentiality not preserved: %.2f -> %.2f", orig, re)
+	}
+}
+
+// TestGrammarPredictsPhasedWorkload applies the Omnisc'IO-style sequence
+// predictor to a real recorded trace of a periodic workload: after
+// observing the pattern, it predicts the next operation with high accuracy.
+func TestGrammarPredictsPhasedWorkload(t *testing.T) {
+	e := des.NewEngine(85)
+	fs := pfs.New(e, ssdCluster())
+	col := trace.NewCollector()
+	h := workload.NewHarness(e, fs, 1, "app", col)
+	workload.RunCheckpoint(h, workload.CheckpointConfig{
+		Ranks: 1, BytesPerRank: 4 << 20, Steps: 12, TransferSize: 1 << 20, ReuseFile: true,
+	})
+	// Encode ops as symbols: op kind + size bucket.
+	var seq []int
+	symbols := map[string]int{}
+	for _, r := range trace.ByRank(col.Records(), 0) {
+		key := fmt.Sprintf("%s/%d", r.Op, r.Size>>20)
+		id, ok := symbols[key]
+		if !ok {
+			id = len(symbols)
+			symbols[key] = id
+		}
+		seq = append(seq, id)
+	}
+	sp := predict.NewSeqPredictor(6)
+	sp.Observe(seq)
+	acc := sp.Accuracy(seq, len(seq)/4)
+	if acc < 0.9 {
+		t.Errorf("grammar predictor accuracy on periodic checkpoint = %.2f, want >= 0.9", acc)
+	}
+	// The grammar itself compresses the op stream.
+	if ratio := predict.CompressionRatio(seq); ratio < 4 {
+		t.Errorf("grammar compression = %.1f", ratio)
+	}
+}
+
+// TestMonitoredMixedWorkloads runs DL + checkpoint jobs concurrently under
+// a server-side sampler and checks the §V storyline: the sampler sees both
+// read and write phases, and the system is not write-dominated.
+func TestMonitoredMixedWorkloads(t *testing.T) {
+	e := des.NewEngine(86)
+	fs := pfs.New(e, ssdCluster())
+	sampler := monitor.NewSampler(e, fs, 10*des.Millisecond, 30*des.Second)
+	watcher := monitor.Watch(fs)
+
+	hDL := workload.NewHarness(e, fs, 2, "dl", nil)
+	workload.RunDL(hDL, workload.DLConfig{
+		Workers: 2, Samples: 512, SampleSize: 64 << 10, SamplesPerFile: 128,
+		Epochs: 2, Shuffle: true, Path: "/ds",
+	})
+	hCk := workload.NewHarness(e, fs, 2, "ck", nil)
+	workload.RunCheckpoint(hCk, workload.CheckpointConfig{
+		Ranks: 2, BytesPerRank: 8 << 20, Steps: 2, Path: "/ck",
+	})
+	sampler.Stop()
+
+	read, written := fs.TotalBytes()
+	if read == 0 || written == 0 {
+		t.Fatal("mixed workload should read and write")
+	}
+	frac := float64(read) / float64(read+written)
+	if frac < 0.3 {
+		t.Errorf("read fraction %.2f: emerging mix should not be write-dominated", frac)
+	}
+	var sawRead, sawWrite bool
+	for _, r := range sampler.DeriveRates() {
+		if r.ReadBps > 0 {
+			sawRead = true
+		}
+		if r.WriteBps > 0 {
+			sawWrite = true
+		}
+	}
+	if !sawRead || !sawWrite {
+		t.Error("sampler missed a phase")
+	}
+	if len(watcher.Events()) == 0 {
+		t.Error("FS watcher saw no metadata events")
+	}
+}
+
+// TestTraceFileRoundTripThroughReplay writes a trace to the binary codec,
+// reads it back, and replays it — the full tracer/replayer tool pipeline in
+// process.
+func TestTraceFileRoundTripThroughReplay(t *testing.T) {
+	wl, err := iolang.Parse(`
+workload "rt" {
+    ranks 2
+    loop 2 {
+        write "/f.${rank}" offset=iter*1MB size=1MB
+    }
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := des.NewEngine(87)
+	col := trace.NewCollector()
+	if _, err := iolang.Run(e, pfs.New(e, ssdCluster()), wl, col); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteBinary(&buf, col.Records()); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := trace.ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2 := des.NewEngine(88)
+	res, err := replay.Run(e2, pfs.New(e2, ssdCluster()), replay.FromTrace(recs), replay.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BytesWritten != 2*2<<20 {
+		t.Fatalf("replayed %d bytes", res.BytesWritten)
+	}
+}
+
+// TestEndToEndFig2WithBurstBufferAndMonitor is the kitchen-sink check: the
+// full Figure-1 topology (I/O-forwarding tier enabled) under an HDF
+// workload, with monitoring attached, terminates and accounts every byte.
+func TestEndToEndFig2WithBurstBufferAndMonitor(t *testing.T) {
+	cfg := pfs.DefaultConfig() // includes 2 I/O nodes and both fabrics
+	e := des.NewEngine(89)
+	fs := pfs.New(e, cfg)
+	sampler := monitor.NewSampler(e, fs, 50*des.Millisecond, des.Minute)
+	col := trace.NewCollector()
+	h := workload.NewHarness(e, fs, 4, "cn", col)
+	rep := workload.RunIOR(h, workload.IORConfig{
+		Ranks: 4, BlockSize: 4 << 20, TransferSize: 1 << 20, SharedFile: true,
+	})
+	sampler.Stop()
+	if rep.WriteMBps <= 0 {
+		t.Fatal("no bandwidth through the forwarding tier")
+	}
+	if _, w := fs.TotalBytes(); w != 16<<20 {
+		t.Fatalf("OST bytes = %d", w)
+	}
+	if len(sampler.Samples()) == 0 {
+		t.Error("no samples collected")
+	}
+}
+
+// TestPeriodicityDetectionOnServerRates closes another §IV-B1 loop: sample
+// the storage servers during a periodic checkpoint application and recover
+// the checkpoint period from the bandwidth series alone.
+func TestPeriodicityDetectionOnServerRates(t *testing.T) {
+	e := des.NewEngine(90)
+	fs := pfs.New(e, ssdCluster())
+	sampler := monitor.NewSampler(e, fs, 10*des.Millisecond, 10*des.Second)
+	h := workload.NewHarness(e, fs, 2, "per", nil)
+	workload.RunCheckpoint(h, workload.CheckpointConfig{
+		Ranks: 2, BytesPerRank: 4 << 20, Steps: 10,
+		ComputeTime: 200 * des.Millisecond, ReuseFile: true,
+	})
+	sampler.Stop()
+	var series []float64
+	for _, r := range sampler.DeriveRates() {
+		series = append(series, r.WriteBps)
+	}
+	// One checkpoint cycle = compute (200ms) + write; at 10ms sampling the
+	// period should be ~20-26 bins.
+	period, strength := stats.DetectPeriod(series, 5, 60, 0.2)
+	if period < 15 || period > 35 {
+		t.Fatalf("detected period %d bins (strength %.2f), want ~20-26", period, strength)
+	}
+}

@@ -1,0 +1,226 @@
+// Package burstbuffer models the I/O-node burst-buffer tier of Figure 1:
+// a fast SSD staging area close to the compute nodes that absorbs bursty
+// writes (checkpoints) at SSD speed and drains them asynchronously to the
+// parallel file system, decoupling client-perceived bandwidth from the
+// slower backing storage.
+package burstbuffer
+
+import (
+	"fmt"
+
+	"pioeval/internal/blockdev"
+	"pioeval/internal/des"
+	"pioeval/internal/pfs"
+)
+
+// Config describes one burst-buffer node.
+type Config struct {
+	// Device constructs the staging media model (default NVMe).
+	Device func() blockdev.Model
+	// QueueDepth is the staging device's concurrency.
+	QueueDepth int
+	// Capacity is the staging capacity in bytes; writers block when the
+	// buffer is full (backpressure) until the drainer frees space.
+	Capacity int64
+	// DrainWorkers is the number of concurrent drain streams to the PFS.
+	DrainWorkers int
+}
+
+// DefaultConfig returns an NVMe-backed buffer: 4 GiB, depth 8, 2 drainers.
+func DefaultConfig() Config {
+	return Config{
+		Device:       func() blockdev.Model { return blockdev.DefaultNVMe() },
+		QueueDepth:   8,
+		Capacity:     4 << 30,
+		DrainWorkers: 2,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	if c.Device == nil {
+		c.Device = func() blockdev.Model { return blockdev.DefaultNVMe() }
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 8
+	}
+	if c.Capacity <= 0 {
+		c.Capacity = 4 << 30
+	}
+	if c.DrainWorkers <= 0 {
+		c.DrainWorkers = 1
+	}
+	return c
+}
+
+// segment is one staged write awaiting drain.
+type segment struct {
+	path string
+	off  int64
+	size int64
+}
+
+// Buffer is a burst-buffer node: clients write through it at staging
+// speed; a background drainer moves segments to the PFS.
+type Buffer struct {
+	eng  *des.Engine
+	fs   *pfs.FS
+	cfg  Config
+	node string
+	dev  *blockdev.Device
+
+	used     int64
+	pending  *des.Queue
+	notFull  *des.Signal
+	idle     *des.Signal
+	inFlight int
+
+	// The drainer's own PFS identity.
+	drainClient *pfs.Client
+	handles     map[string]*pfs.Handle
+
+	// Statistics.
+	absorbed  int64
+	drained   int64
+	peakUsed  int64
+	stalls    uint64
+	bufReads  int64
+	missReads int64
+}
+
+// New creates a burst buffer named node (registered as a PFS compute-fabric
+// client for drain traffic) and starts its drain workers.
+func New(e *des.Engine, fs *pfs.FS, node string, cfg Config) *Buffer {
+	cfg = cfg.withDefaults()
+	b := &Buffer{
+		eng: e, fs: fs, cfg: cfg, node: node,
+		dev:         blockdev.NewDevice(e, "bb."+node, cfg.Device(), cfg.QueueDepth),
+		pending:     des.NewQueue(e, "bb."+node+".drain"),
+		notFull:     des.NewSignal(e),
+		idle:        des.NewSignal(e),
+		drainClient: fs.NewClient(node),
+		handles:     make(map[string]*pfs.Handle),
+	}
+	for i := 0; i < cfg.DrainWorkers; i++ {
+		e.Spawn(fmt.Sprintf("bb.%s.drain%d", node, i), b.drainLoop)
+	}
+	return b
+}
+
+// Node returns the buffer's network node name.
+func (b *Buffer) Node() string { return b.node }
+
+// drainLoop pulls staged segments and writes them to the PFS.
+func (b *Buffer) drainLoop(p *des.Proc) {
+	for {
+		item := b.pending.Get(p)
+		seg, ok := item.(segment)
+		if !ok {
+			return // shutdown sentinel
+		}
+		b.inFlight++
+		h := b.handles[seg.path]
+		if h == nil {
+			var err error
+			h, err = b.drainClient.Open(p, seg.path)
+			if err != nil {
+				h, err = b.drainClient.Create(p, seg.path, 0, 0)
+			}
+			if err == nil {
+				b.handles[seg.path] = h
+			}
+		}
+		// Read the staged data off the SSD, then push it to the PFS.
+		b.dev.Access(p, blockdev.Request{Offset: seg.off, Size: seg.size})
+		if h != nil {
+			h.Write(p, seg.off, seg.size)
+		}
+		b.used -= seg.size
+		b.drained += seg.size
+		b.inFlight--
+		b.notFull.Fire()
+		if b.used == 0 && b.pending.Len() == 0 && b.inFlight == 0 {
+			b.idle.Fire()
+		}
+	}
+}
+
+// Shutdown stops the drain workers after the queue empties. Call from a
+// process after WaitDrained if a clean stop is needed; otherwise workers
+// simply persist until the simulation ends.
+func (b *Buffer) Shutdown() {
+	for i := 0; i < b.cfg.DrainWorkers; i++ {
+		b.pending.Put(nil)
+	}
+}
+
+// Write stages size bytes for path at the buffer: the caller pays SSD time
+// (plus backpressure wait when full) and returns as soon as the data is
+// staged; draining to the PFS proceeds asynchronously.
+func (b *Buffer) Write(p *des.Proc, path string, off, size int64) {
+	if size <= 0 {
+		return
+	}
+	for b.used+size > b.cfg.Capacity {
+		b.stalls++
+		b.notFull.Wait(p)
+	}
+	b.used += size
+	if b.used > b.peakUsed {
+		b.peakUsed = b.used
+	}
+	b.dev.Access(p, blockdev.Request{Offset: off, Size: size, Write: true})
+	b.absorbed += size
+	b.pending.Put(segment{path: path, off: off, size: size})
+}
+
+// Read serves size bytes for path: from the staging SSD when the data has
+// not fully drained yet (fast path), otherwise from the PFS.
+func (b *Buffer) Read(p *des.Proc, path string, off, size int64) {
+	if size <= 0 {
+		return
+	}
+	if b.used > 0 {
+		b.bufReads += size
+		b.dev.Access(p, blockdev.Request{Offset: off, Size: size})
+		return
+	}
+	b.missReads += size
+	h := b.handles[path]
+	if h == nil {
+		var err error
+		h, err = b.drainClient.Open(p, path)
+		if err != nil {
+			return
+		}
+		b.handles[path] = h
+	}
+	h.Read(p, off, size)
+}
+
+// WaitDrained blocks the calling process until all staged data has reached
+// the PFS.
+func (b *Buffer) WaitDrained(p *des.Proc) {
+	for b.used > 0 || b.pending.Len() > 0 || b.inFlight > 0 {
+		b.idle.Wait(p)
+	}
+}
+
+// Stats is a snapshot of buffer counters.
+type Stats struct {
+	Absorbed  int64
+	Drained   int64
+	Used      int64
+	PeakUsed  int64
+	Stalls    uint64
+	BufReads  int64
+	MissReads int64
+}
+
+// Stats returns a snapshot of the buffer counters.
+func (b *Buffer) Stats() Stats {
+	return Stats{
+		Absorbed: b.absorbed, Drained: b.drained, Used: b.used,
+		PeakUsed: b.peakUsed, Stalls: b.stalls,
+		BufReads: b.bufReads, MissReads: b.missReads,
+	}
+}

@@ -1,0 +1,184 @@
+package burstbuffer
+
+import (
+	"testing"
+
+	"pioeval/internal/blockdev"
+	"pioeval/internal/des"
+	"pioeval/internal/pfs"
+)
+
+// newSim builds an engine + HDD-backed FS + one burst buffer.
+func newSim(capacity int64) (*des.Engine, *pfs.FS, *Buffer) {
+	e := des.NewEngine(5)
+	cfg := pfs.DefaultConfig()
+	cfg.NumIONodes = 0
+	fs := pfs.New(e, cfg) // HDD OSTs: slow backing store
+	bcfg := DefaultConfig()
+	if capacity > 0 {
+		bcfg.Capacity = capacity
+	}
+	bb := New(e, fs, "bb0", bcfg)
+	return e, fs, bb
+}
+
+func TestWriteStagesAndDrains(t *testing.T) {
+	e, fs, bb := newSim(0)
+	var stagedAt des.Time
+	e.Spawn("app", func(p *des.Proc) {
+		for i := int64(0); i < 8; i++ {
+			bb.Write(p, "/ckpt", i*(1<<20), 1<<20)
+		}
+		stagedAt = p.Now()
+		bb.WaitDrained(p)
+	})
+	e.Run(des.MaxTime)
+	st := bb.Stats()
+	if st.Absorbed != 8<<20 || st.Drained != 8<<20 || st.Used != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// All data must have landed on the PFS.
+	if _, w := fs.TotalBytes(); w != 8<<20 {
+		t.Fatalf("PFS bytes = %d, want 8MB", w)
+	}
+	// Staging must complete before the drain finishes (asynchrony).
+	if stagedAt >= e.Now() {
+		t.Errorf("staging (%v) should finish before drain completes (%v)", stagedAt, e.Now())
+	}
+}
+
+func TestBurstAbsorption(t *testing.T) {
+	// The Figure-1 claim: a bursty checkpoint completes much faster into
+	// the burst buffer than directly into the HDD-backed PFS.
+	burst := int64(32 << 20)
+
+	// Direct-to-PFS time.
+	e1 := des.NewEngine(5)
+	cfg := pfs.DefaultConfig()
+	cfg.NumIONodes = 0
+	fs1 := pfs.New(e1, cfg)
+	c := fs1.NewClient("cn0")
+	var direct des.Time
+	e1.Spawn("app", func(p *des.Proc) {
+		h, _ := c.Create(p, "/ckpt", 0, 0)
+		h.Write(p, 0, burst)
+		h.Close(p)
+		direct = p.Now()
+	})
+	e1.Run(des.MaxTime)
+
+	// Through the burst buffer.
+	e2, _, bb := newSim(0)
+	var buffered des.Time
+	e2.Spawn("app", func(p *des.Proc) {
+		bb.Write(p, "/ckpt", 0, burst)
+		buffered = p.Now()
+	})
+	e2.Run(des.MaxTime)
+
+	if buffered >= direct {
+		t.Fatalf("burst buffer (%v) should absorb faster than direct PFS (%v)", buffered, direct)
+	}
+	if ratio := float64(direct) / float64(buffered); ratio < 2 {
+		t.Errorf("absorption speedup = %.1fx, want >= 2x", ratio)
+	}
+}
+
+func TestCapacityBackpressure(t *testing.T) {
+	// A buffer smaller than the burst forces stalls but still completes.
+	e, fs, bb := newSim(4 << 20)
+	e.Spawn("app", func(p *des.Proc) {
+		for i := int64(0); i < 16; i++ {
+			bb.Write(p, "/ckpt", i*(1<<20), 1<<20)
+		}
+		bb.WaitDrained(p)
+	})
+	e.Run(des.MaxTime)
+	st := bb.Stats()
+	if st.Stalls == 0 {
+		t.Error("expected backpressure stalls with a small buffer")
+	}
+	if st.PeakUsed > 4<<20 {
+		t.Errorf("peak usage %d exceeded capacity", st.PeakUsed)
+	}
+	if _, w := fs.TotalBytes(); w != 16<<20 {
+		t.Fatalf("PFS bytes = %d, want 16MB", w)
+	}
+}
+
+func TestReadHitFromStaging(t *testing.T) {
+	e, _, bb := newSim(0)
+	e.Spawn("app", func(p *des.Proc) {
+		bb.Write(p, "/f", 0, 1<<20)
+		// Data not drained yet (probably): read should hit staging.
+		bb.Read(p, "/f", 0, 1<<20)
+		bb.WaitDrained(p)
+		// After drain, reads go to the PFS.
+		bb.Read(p, "/f", 0, 1<<20)
+	})
+	e.Run(des.MaxTime)
+	st := bb.Stats()
+	if st.BufReads == 0 {
+		t.Error("expected a staged read hit")
+	}
+	if st.MissReads == 0 {
+		t.Error("expected a post-drain PFS read")
+	}
+}
+
+func TestShutdownStopsWorkers(t *testing.T) {
+	e, _, bb := newSim(0)
+	e.Spawn("app", func(p *des.Proc) {
+		bb.Write(p, "/f", 0, 1<<10)
+		bb.WaitDrained(p)
+		bb.Shutdown()
+	})
+	e.Run(des.MaxTime)
+	if e.LiveProcs() != 0 {
+		t.Fatalf("%d workers still alive after shutdown", e.LiveProcs())
+	}
+}
+
+func TestZeroSizeWriteIgnored(t *testing.T) {
+	e, _, bb := newSim(0)
+	e.Spawn("app", func(p *des.Proc) {
+		bb.Write(p, "/f", 0, 0)
+		bb.Read(p, "/f", 0, 0)
+	})
+	e.Run(des.MaxTime)
+	if st := bb.Stats(); st.Absorbed != 0 {
+		t.Errorf("zero write absorbed %d", st.Absorbed)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	var zero Config
+	c := zero.withDefaults()
+	if c.Device == nil || c.QueueDepth <= 0 || c.Capacity <= 0 || c.DrainWorkers <= 0 {
+		t.Errorf("defaults missing: %+v", c)
+	}
+}
+
+func TestDrainWorkersParallelism(t *testing.T) {
+	// More drain workers finish the drain sooner.
+	drainTime := func(workers int) des.Time {
+		e := des.NewEngine(5)
+		cfg := pfs.DefaultConfig()
+		cfg.NumIONodes = 0
+		cfg.OSTDevice = func() blockdev.Model { return blockdev.DefaultSSD() }
+		fs := pfs.New(e, cfg)
+		bcfg := DefaultConfig()
+		bcfg.DrainWorkers = workers
+		bb := New(e, fs, "bb0", bcfg)
+		e.Spawn("app", func(p *des.Proc) {
+			for i := int64(0); i < 16; i++ {
+				bb.Write(p, "/f", i*(1<<20), 1<<20)
+			}
+			bb.WaitDrained(p)
+		})
+		return e.Run(des.MaxTime)
+	}
+	if one, four := drainTime(1), drainTime(4); four >= one {
+		t.Errorf("4 drainers (%v) should beat 1 (%v)", four, one)
+	}
+}

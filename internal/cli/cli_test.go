@@ -1,0 +1,95 @@
+package cli
+
+import (
+	"flag"
+	"testing"
+)
+
+func TestParseSize(t *testing.T) {
+	cases := map[string]int64{
+		"0":     0,
+		"1024":  1024,
+		"4KB":   4 << 10,
+		"16MB":  16 << 20,
+		"2GB":   2 << 30,
+		"100B":  100,
+		" 8MB ": 8 << 20,
+		"3kb":   3 << 10,
+	}
+	for in, want := range cases {
+		got, err := ParseSize(in)
+		if err != nil || got != want {
+			t.Errorf("ParseSize(%q) = %d, %v; want %d", in, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", "abc", "MB", "1.5MB"} {
+		if _, err := ParseSize(bad); err == nil {
+			t.Errorf("ParseSize(%q) should error", bad)
+		}
+	}
+}
+
+func TestFormatSize(t *testing.T) {
+	cases := map[int64]string{
+		100:     "100B",
+		4 << 10: "4KB",
+		3 << 20: "3MB",
+		2 << 30: "2GB",
+		1500:    "1500B",
+	}
+	for in, want := range cases {
+		if got := FormatSize(in); got != want {
+			t.Errorf("FormatSize(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestClusterFlagsConfig(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	var c ClusterFlags
+	c.Register(fs)
+	if err := fs.Parse([]string{"-oss", "8", "-device", "nvme", "-stripe-size", "4MB"}); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := c.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.NumOSS != 8 || cfg.DefaultStripeSize != 4<<20 {
+		t.Errorf("cfg = %+v", cfg)
+	}
+	if cfg.OSTDevice == nil || cfg.OSTDevice().Name() != "ssd" { // NVMe uses the SSD model type
+		t.Errorf("device model = %v", cfg.OSTDevice().Name())
+	}
+
+	c.Device = "floppy"
+	if _, err := c.Config(); err == nil {
+		t.Error("unknown device should error")
+	}
+	c.Device = "hdd"
+	c.StripeSize = "garbage"
+	if _, err := c.Config(); err == nil {
+		t.Error("bad stripe size should error")
+	}
+}
+
+func TestParseDuration(t *testing.T) {
+	cases := map[string]int64{
+		"100ns": 100,
+		"5us":   5000,
+		"2ms":   2e6,
+		"1.5s":  1.5e9,
+		"3":     3e9,
+	}
+	for in, want := range cases {
+		got, err := ParseDuration(in)
+		if err != nil || int64(got) != want {
+			t.Errorf("ParseDuration(%q) = %d, %v; want %d", in, int64(got), err, want)
+		}
+	}
+	for _, bad := range []string{"", "fast", "5parsecs"} {
+		if _, err := ParseDuration(bad); err == nil {
+			t.Errorf("ParseDuration(%q) should error", bad)
+		}
+	}
+}

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"pioeval/internal/blockdev"
+	"pioeval/internal/des"
+	"pioeval/internal/iolang"
+	"pioeval/internal/pfs"
+	"pioeval/internal/profile"
+	"pioeval/internal/skeleton"
+	"pioeval/internal/trace"
+)
+
+func ssdConfig() pfs.Config {
+	cfg := pfs.DefaultConfig()
+	cfg.NumIONodes = 0
+	cfg.OSTDevice = func() blockdev.Model { return blockdev.DefaultSSD() }
+	return cfg
+}
+
+func hddConfig() pfs.Config {
+	cfg := pfs.DefaultConfig()
+	cfg.NumIONodes = 0
+	return cfg
+}
+
+const script = `
+workload "cycle" {
+    ranks 4
+    loop 4 {
+        compute 5ms
+        write "/out" offset=rank*8MB size=2MB chunk=1MB
+        write "/log${rank}" offset=iter*64KB size=64KB
+    }
+}
+`
+
+func mustParse(t *testing.T) *iolang.Workload {
+	t.Helper()
+	w, err := iolang.Parse(script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestSyntheticSource(t *testing.T) {
+	src := SyntheticSource{Workload: mustParse(t)}
+	if src.Name() != "synthetic" {
+		t.Error("name")
+	}
+	ops, err := src.Ops()
+	if err != nil || len(ops) != 4 {
+		t.Fatalf("ops = %d ranks, %v", len(ops), err)
+	}
+	if _, err := (SyntheticSource{}).Ops(); !errors.Is(err, ErrEmptySource) {
+		t.Error("nil workload should error")
+	}
+}
+
+func TestTraceSource(t *testing.T) {
+	recs := []trace.Record{
+		{Rank: 0, Layer: trace.LayerPOSIX, Op: "write", Path: "/f", Size: 100, Start: 0, End: 10},
+		{Rank: 1, Layer: trace.LayerPOSIX, Op: "write", Path: "/f", Offset: 100, Size: 100, Start: 0, End: 10},
+	}
+	src := TraceSource{Records: recs}
+	ops, err := src.Ops()
+	if err != nil || len(ops) != 2 {
+		t.Fatalf("ops = %v, %v", ops, err)
+	}
+	if _, err := (TraceSource{}).Ops(); !errors.Is(err, ErrEmptySource) {
+		t.Error("empty trace should error")
+	}
+}
+
+func TestProfileSourceReproducesCounters(t *testing.T) {
+	// Build a profile by hand: 10 sequential 4K writes, 5 random 1M reads.
+	fc := &profile.FileCounters{Path: "/data", Writes: 10, SeqWrites: 9, Reads: 5}
+	fc.WriteHist[2] = 10 // 1K-10K bucket
+	fc.ReadHist[4] = 5   // 100K-1M bucket
+	src := ProfileSource{Files: []*profile.FileCounters{fc}}
+	ops, err := src.Ops()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var writes, reads int
+	for _, op := range ops[0] {
+		switch op.Op {
+		case "write":
+			writes++
+		case "read":
+			reads++
+		}
+	}
+	if writes != 10 || reads != 5 {
+		t.Fatalf("synthesized %d writes %d reads", writes, reads)
+	}
+	// Re-profile the synthesized stream: counts must match.
+	p2 := profile.New()
+	for _, op := range ops[0] {
+		p2.Ingest(trace.Record{Rank: 0, Layer: trace.LayerPOSIX, Op: op.Op, Path: op.Path, Offset: op.Offset, Size: op.Size})
+	}
+	got := p2.PerFile()[0]
+	if got.Writes != 10 || got.Reads != 5 {
+		t.Fatalf("re-profiled = %d writes %d reads", got.Writes, got.Reads)
+	}
+	if _, err := (ProfileSource{}).Ops(); !errors.Is(err, ErrEmptySource) {
+		t.Error("empty profile should error")
+	}
+}
+
+func TestProfileSourceSequentialFraction(t *testing.T) {
+	mk := func(seq uint64) float64 {
+		fc := &profile.FileCounters{Path: "/d", Writes: 20, SeqWrites: seq}
+		fc.WriteHist[2] = 20
+		src := ProfileSource{Files: []*profile.FileCounters{fc}}
+		ops, err := src.Ops()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := profile.New()
+		for _, op := range ops[0] {
+			p.Ingest(trace.Record{Layer: trace.LayerPOSIX, Op: op.Op, Path: op.Path, Offset: op.Offset, Size: op.Size})
+		}
+		return p.SequentialFraction()
+	}
+	seqy, randy := mk(19), mk(2)
+	if seqy < 0.9 {
+		t.Errorf("sequential synthesis fraction = %.2f", seqy)
+	}
+	if randy > 0.5 {
+		t.Errorf("random synthesis fraction = %.2f", randy)
+	}
+}
+
+func TestConsumersMoveSameBytes(t *testing.T) {
+	src := SyntheticSource{Workload: mustParse(t)}
+	ops, _ := src.Ops()
+	want := int64(4 * 4 * (2<<20 + 64<<10))
+
+	e1 := des.NewEngine(71)
+	r1, err := ReplayConsumer{}.Consume(e1, pfs.New(e1, ssdConfig()), ops)
+	if err != nil || r1.BytesWritten != want {
+		t.Fatalf("replay consumer = %+v, %v", r1, err)
+	}
+
+	var ratio float64
+	e2 := des.NewEngine(72)
+	sk := SkeletonConsumer{MeanCompressionRatio: &ratio}
+	r2, err := sk.Consume(e2, pfs.New(e2, ssdConfig()), ops)
+	if err != nil || r2.BytesWritten != want {
+		t.Fatalf("skeleton consumer = %+v, %v", r2, err)
+	}
+	if ratio <= 1 {
+		t.Errorf("skeleton compression ratio = %.2f, want > 1 on a loopy workload", ratio)
+	}
+}
+
+func TestRunCycleConvergesViaFeedback(t *testing.T) {
+	res, err := RunCycle(CycleConfig{
+		Seed:          73,
+		Baseline:      ssdConfig(), // measured on SSD
+		Target:        hddConfig(), // predicted for HDD
+		Source:        SyntheticSource{Workload: mustParse(t)},
+		MaxIterations: 4,
+		Tolerance:     0.3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TraceRecords == 0 {
+		t.Error("phase 1 produced no trace")
+	}
+	if res.ReadWriteRatio != 0 { // write-only workload
+		t.Errorf("rw ratio = %v", res.ReadWriteRatio)
+	}
+	if res.SkeletonRatio <= 1 {
+		t.Errorf("skeleton ratio = %v", res.SkeletonRatio)
+	}
+	if len(res.Iterations) == 0 {
+		t.Fatal("no iterations")
+	}
+	first := res.Iterations[0]
+	last := res.Iterations[len(res.Iterations)-1]
+	// The baseline-trained model mispredicts the HDD target; feedback
+	// must shrink the error.
+	if len(res.Iterations) > 1 && last.RelError >= first.RelError {
+		t.Errorf("feedback did not reduce error: first %.3f last %.3f", first.RelError, last.RelError)
+	}
+	if !res.Converged {
+		t.Errorf("cycle did not converge: %+v", res.Iterations)
+	}
+	if res.WriteFit.Slope <= 0 {
+		t.Errorf("write fit slope = %v, want positive (latency grows with size)", res.WriteFit.Slope)
+	}
+}
+
+func TestRunCycleSameClusterConvergesImmediately(t *testing.T) {
+	res, err := RunCycle(CycleConfig{
+		Seed:      74,
+		Baseline:  ssdConfig(),
+		Target:    ssdConfig(),
+		Source:    SyntheticSource{Workload: mustParse(t)},
+		Tolerance: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("same-cluster prediction should converge: %+v", res.Iterations)
+	}
+	if res.Iterations[0].RelError > 0.5 {
+		t.Errorf("first-shot error = %.3f", res.Iterations[0].RelError)
+	}
+}
+
+func TestRunCyclePropagatesSourceError(t *testing.T) {
+	_, err := RunCycle(CycleConfig{Source: TraceSource{}})
+	if !errors.Is(err, ErrEmptySource) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestOpsToTokensRoundTrip(t *testing.T) {
+	src := SyntheticSource{Workload: mustParse(t)}
+	ops, _ := src.Ops()
+	toks := opsToTokens(ops[0])
+	back := skeletonDetok(toks)
+	if len(back) != len(ops[0]) {
+		t.Fatalf("lengths differ: %d vs %d", len(back), len(ops[0]))
+	}
+	for i := range back {
+		if back[i].Op != ops[0][i].Op || back[i].Offset != ops[0][i].Offset || back[i].Size != ops[0][i].Size {
+			t.Fatalf("op %d: %+v vs %+v", i, back[i], ops[0][i])
+		}
+	}
+}
+
+// skeletonDetok is a test shim over skeleton.Detokenize.
+func skeletonDetok(toks []skeleton.Token) []skeleton.ConcreteOp {
+	return skeleton.Detokenize(toks)
+}

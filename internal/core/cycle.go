@@ -1,0 +1,227 @@
+package core
+
+import (
+	"fmt"
+
+	"pioeval/internal/des"
+	"pioeval/internal/pfs"
+	"pioeval/internal/profile"
+	"pioeval/internal/replay"
+	"pioeval/internal/skeleton"
+	"pioeval/internal/stats"
+	"pioeval/internal/trace"
+)
+
+// CycleConfig describes one run of the iterative evaluation cycle.
+type CycleConfig struct {
+	Seed int64
+	// Baseline is the measurement deployment (phase 1 runs here).
+	Baseline pfs.Config
+	// Target is the deployment whose performance the model must predict
+	// (phase 3 simulates here).
+	Target pfs.Config
+	// Source provides the workload.
+	Source Source
+	// MaxIterations bounds the feedback loop (default 3).
+	MaxIterations int
+	// Tolerance is the relative makespan-prediction error at which the
+	// loop declares convergence (default 0.25).
+	Tolerance float64
+}
+
+// Iteration reports one trip around the loop.
+type Iteration struct {
+	Index             int
+	PredictedMakespan des.Time
+	MeasuredMakespan  des.Time
+	RelError          float64
+	TrainingSamples   int
+}
+
+// CycleResult aggregates the three phases' artifacts.
+type CycleResult struct {
+	// Phase 1: measurement & statistics collection.
+	TraceRecords     int
+	ReadWriteRatio   float64
+	SeqFraction      float64
+	DominantSize     string
+	BaselineMakespan des.Time
+
+	// Phase 2: modeling & prediction.
+	SkeletonRatio float64
+	ReadFit       stats.LinearFit
+	WriteFit      stats.LinearFit
+
+	// Phase 3: simulation + feedback.
+	Iterations []Iteration
+	Converged  bool
+}
+
+// opSample is one (size -> latency) observation.
+type opSample struct {
+	size    float64
+	latency float64
+}
+
+// RunCycle executes the full Figure-4 loop:
+//
+//  1. Measure: replay the source workload on the baseline deployment with
+//     tracing and Darshan-like profiling attached.
+//  2. Model: characterize the workload, build a skeleton, and fit
+//     latency-vs-size regressions from the measured records.
+//  3. Simulate: predict the workload's makespan on the target deployment
+//     from the model, then actually simulate it; the new measurements feed
+//     back into the model and the loop repeats until the prediction error
+//     falls below tolerance.
+func RunCycle(cfg CycleConfig) (*CycleResult, error) {
+	if cfg.MaxIterations <= 0 {
+		cfg.MaxIterations = 3
+	}
+	if cfg.Tolerance <= 0 {
+		cfg.Tolerance = 0.25
+	}
+	res := &CycleResult{}
+
+	ops, err := cfg.Source.Ops()
+	if err != nil {
+		return nil, err
+	}
+
+	// ---- Phase 1: measurement & statistics collection ----
+	col := trace.NewCollector()
+	prof := profile.New()
+	prof.Attach(col)
+	eBase := des.NewEngine(cfg.Seed)
+	fsBase := pfs.New(eBase, cfg.Baseline)
+	baseRes, err := replayTraced(eBase, fsBase, ops, col)
+	if err != nil {
+		return nil, fmt.Errorf("core: baseline measurement: %w", err)
+	}
+	res.BaselineMakespan = baseRes.Makespan
+	res.TraceRecords = col.Len()
+	res.ReadWriteRatio = prof.ReadWriteRatio()
+	res.SeqFraction = prof.SequentialFraction()
+	res.DominantSize = prof.DominantAccessSize()
+
+	// ---- Phase 2: modeling & prediction ----
+	var ratioSum float64
+	for _, rankOps := range ops {
+		prog := skeleton.Fold(opsToTokens(rankOps))
+		ratioSum += prog.CompressionRatio()
+	}
+	res.SkeletonRatio = ratioSum / float64(len(ops))
+
+	reads, writes := harvestSamples(col.Records())
+
+	// ---- Phase 3: simulation with feedback ----
+	for iter := 0; iter < cfg.MaxIterations; iter++ {
+		res.ReadFit = fitSamples(reads)
+		res.WriteFit = fitSamples(writes)
+		predicted := predictMakespan(ops, res.ReadFit, res.WriteFit)
+
+		eT := des.NewEngine(cfg.Seed + int64(iter) + 1)
+		fsT := pfs.New(eT, cfg.Target)
+		colT := trace.NewCollector()
+		targetRes, err := replayTraced(eT, fsT, ops, colT)
+		if err != nil {
+			return nil, fmt.Errorf("core: target simulation: %w", err)
+		}
+		relErr := relError(predicted, targetRes.Makespan)
+		res.Iterations = append(res.Iterations, Iteration{
+			Index:             iter,
+			PredictedMakespan: predicted,
+			MeasuredMakespan:  targetRes.Makespan,
+			RelError:          relErr,
+			TrainingSamples:   len(reads) + len(writes),
+		})
+		if relErr <= cfg.Tolerance {
+			res.Converged = true
+			break
+		}
+		// Feedback: fold the target measurements into the training set.
+		r2, w2 := harvestSamples(colT.Records())
+		reads, writes = r2, w2 // target data supersedes baseline data
+	}
+	return res, nil
+}
+
+// replayTraced replays ops with a traced POSIX environment.
+func replayTraced(e *des.Engine, fs *pfs.FS, ops [][]skeleton.ConcreteOp, col *trace.Collector) (replay.Result, error) {
+	return replay.RunTraced(e, fs, ops, replay.Options{Timed: true}, col)
+}
+
+// harvestSamples extracts (size, latency) pairs per op kind from POSIX
+// records.
+func harvestSamples(recs []trace.Record) (reads, writes []opSample) {
+	for _, r := range recs {
+		if r.Layer != trace.LayerPOSIX {
+			continue
+		}
+		s := opSample{size: float64(r.Size), latency: float64(r.Duration())}
+		switch r.Op {
+		case "read":
+			reads = append(reads, s)
+		case "write":
+			writes = append(writes, s)
+		}
+	}
+	return reads, writes
+}
+
+// fitSamples fits latency = a + b*size.
+func fitSamples(samples []opSample) stats.LinearFit {
+	if len(samples) < 2 {
+		return stats.LinearFit{}
+	}
+	xs := make([]float64, len(samples))
+	ys := make([]float64, len(samples))
+	for i, s := range samples {
+		xs[i], ys[i] = s.size, s.latency
+	}
+	fit, err := stats.LinearRegression(xs, ys)
+	if err != nil {
+		// Degenerate sizes: fall back to mean latency.
+		return stats.LinearFit{Intercept: stats.Mean(ys)}
+	}
+	return fit
+}
+
+// predictMakespan estimates the workload makespan as the max over ranks of
+// summed predicted op latencies plus think time.
+func predictMakespan(ops [][]skeleton.ConcreteOp, readFit, writeFit stats.LinearFit) des.Time {
+	var makespan des.Time
+	for _, rankOps := range ops {
+		var t float64
+		for _, op := range rankOps {
+			t += float64(op.Think)
+			switch op.Op {
+			case "read":
+				t += clampNonNeg(readFit.Predict(float64(op.Size)))
+			case "write":
+				t += clampNonNeg(writeFit.Predict(float64(op.Size)))
+			}
+		}
+		if d := des.Time(t); d > makespan {
+			makespan = d
+		}
+	}
+	return makespan
+}
+
+func clampNonNeg(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+func relError(pred, meas des.Time) float64 {
+	if meas == 0 {
+		return 0
+	}
+	d := float64(pred - meas)
+	if d < 0 {
+		d = -d
+	}
+	return d / float64(meas)
+}

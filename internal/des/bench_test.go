@@ -1,0 +1,55 @@
+package des
+
+import "testing"
+
+// BenchmarkEventThroughput measures raw event dispatch rate — the DES
+// engine's fundamental cost (events/sec governs how large a simulated
+// system is practical).
+func BenchmarkEventThroughput(b *testing.B) {
+	e := NewEngine(1)
+	var fire func()
+	n := 0
+	fire = func() {
+		n++
+		if n < b.N {
+			e.After(1, fire)
+		}
+	}
+	b.ResetTimer()
+	e.After(1, fire)
+	e.Run(MaxTime)
+}
+
+// BenchmarkProcContextSwitch measures the goroutine-handoff cost of one
+// process Wait — the price of the process-oriented (coroutine) API
+// compared to raw callbacks.
+func BenchmarkProcContextSwitch(b *testing.B) {
+	e := NewEngine(1)
+	e.Spawn("p", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Wait(1)
+		}
+	})
+	b.ResetTimer()
+	e.Run(MaxTime)
+}
+
+// BenchmarkResourceContention measures queued Acquire/Release cycles under
+// contention.
+func BenchmarkResourceContention(b *testing.B) {
+	e := NewEngine(1)
+	r := NewResource(e, "r", 2)
+	per := b.N / 8
+	if per == 0 {
+		per = 1
+	}
+	for i := 0; i < 8; i++ {
+		e.Spawn("u", func(p *Proc) {
+			for k := 0; k < per; k++ {
+				r.Use(p, 1)
+			}
+		})
+	}
+	b.ResetTimer()
+	e.Run(MaxTime)
+}

@@ -1,0 +1,216 @@
+// Package des implements a deterministic discrete-event simulation engine.
+//
+// The engine is process-oriented: simulated entities run as goroutines that
+// block on simulation primitives (Wait, Acquire, Get). The engine executes
+// exactly one process at a time and advances a virtual clock between events,
+// so simulations are fully deterministic for a given seed and are not
+// affected by wall-clock scheduling.
+//
+// The package is the substrate for every simulator in this repository: the
+// network fabric, the parallel file system, the MPI runtime, and the burst
+// buffer are all built from des processes and resources.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is simulated time in nanoseconds.
+type Time int64
+
+// Common durations in simulated time.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+	Minute           = 60 * Second
+	Hour             = 60 * Minute
+)
+
+// MaxTime is the largest representable simulation time.
+const MaxTime Time = math.MaxInt64
+
+// Seconds converts t to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String formats the time with an adaptive unit.
+func (t Time) String() string {
+	switch {
+	case t >= Second || t <= -Second:
+		return fmt.Sprintf("%.6gs", t.Seconds())
+	case t >= Millisecond || t <= -Millisecond:
+		return fmt.Sprintf("%.6gms", float64(t)/float64(Millisecond))
+	case t >= Microsecond || t <= -Microsecond:
+		return fmt.Sprintf("%.6gus", float64(t)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// FromSeconds converts floating-point seconds into simulated Time.
+func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
+
+// event is a scheduled occurrence in virtual time.
+type event struct {
+	at   Time
+	seq  uint64 // tie-breaker for determinism: FIFO among simultaneous events
+	fire func()
+	// canceled events stay in the heap but are skipped when popped.
+	canceled bool
+}
+
+// eventHeap orders events by (time, sequence).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine drives a single simulation. The zero value is not usable; call
+// NewEngine.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+
+	// Process scheduling: the engine hands control to one process goroutine
+	// at a time and waits for it to yield back.
+	yield chan struct{}
+
+	running   bool
+	stopped   bool
+	procs     int // live process count, for leak detection
+	nextPID   int
+	rng       *StreamRNG
+	tracehook func(at Time, what string)
+}
+
+// NewEngine returns an engine with its clock at zero and an attached
+// deterministic RNG seeded with seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{
+		yield: make(chan struct{}),
+		rng:   NewStreamRNG(seed),
+	}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// RNG returns the engine's deterministic stream RNG.
+func (e *Engine) RNG() *StreamRNG { return e.rng }
+
+// SetTraceHook installs fn to be called on every event dispatch; used by
+// tests and debug tooling. Pass nil to disable.
+func (e *Engine) SetTraceHook(fn func(at Time, what string)) { e.tracehook = fn }
+
+// schedule enqueues fn to run at absolute time at. It returns the event so
+// callers can cancel it.
+func (e *Engine) schedule(at Time, fn func()) *event {
+	if at < e.now {
+		panic(fmt.Sprintf("des: scheduling into the past: at=%v now=%v", at, e.now))
+	}
+	ev := &event{at: at, seq: e.seq, fire: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// After schedules fn to run after delay d. Callback-style scheduling; most
+// code should prefer processes (Spawn) instead.
+func (e *Engine) After(d Time, fn func()) {
+	e.schedule(e.now+d, fn)
+}
+
+// AfterCancel schedules fn after delay d and returns a cancel function
+// (idempotent; a no-op once the event has fired). Timeout modeling.
+func (e *Engine) AfterCancel(d Time, fn func()) (cancel func()) {
+	ev := e.schedule(e.now+d, fn)
+	return func() { ev.canceled = true }
+}
+
+// Run executes events until the event queue empties or until the clock
+// exceeds horizon (use MaxTime for no limit). It returns the final time.
+func (e *Engine) Run(horizon Time) Time {
+	if e.running {
+		panic("des: Run called re-entrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		if ev.canceled {
+			continue
+		}
+		if ev.at > horizon {
+			// Put it back for a future Run call and stop.
+			heap.Push(&e.events, ev)
+			e.now = horizon
+			return e.now
+		}
+		e.now = ev.at
+		if e.tracehook != nil {
+			e.tracehook(e.now, "event")
+		}
+		ev.fire()
+	}
+	return e.now
+}
+
+// NextEventTime returns the timestamp of the earliest pending event.
+func (e *Engine) NextEventTime() (Time, bool) {
+	for len(e.events) > 0 {
+		if e.events[0].canceled {
+			heap.Pop(&e.events)
+			continue
+		}
+		return e.events[0].at, true
+	}
+	return 0, false
+}
+
+// AdvanceTo moves the clock forward to t without executing anything; used
+// by the parallel runner to keep idle partitions in step. It panics if t
+// precedes a pending event.
+func (e *Engine) AdvanceTo(t Time) {
+	if t < e.now {
+		return
+	}
+	if at, ok := e.NextEventTime(); ok && at < t {
+		panic(fmt.Sprintf("des: AdvanceTo(%v) would skip event at %v", t, at))
+	}
+	e.now = t
+}
+
+// Pending reports the number of scheduled (non-canceled) events.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.events {
+		if !ev.canceled {
+			n++
+		}
+	}
+	return n
+}
+
+// LiveProcs reports the number of spawned processes that have not finished.
+// A non-zero value after Run returns with an empty queue indicates processes
+// blocked forever (deadlock in the simulated system).
+func (e *Engine) LiveProcs() int { return e.procs }

@@ -1,0 +1,440 @@
+package des
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{0, "0ns"},
+		{500, "500ns"},
+		{2 * Microsecond, "2us"},
+		{3 * Millisecond, "3ms"},
+		{Second, "1s"},
+		{90 * Second, "90s"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestFromSecondsRoundTrip(t *testing.T) {
+	if got := FromSeconds(1.5); got != 1500*Millisecond {
+		t.Errorf("FromSeconds(1.5) = %v, want 1.5s", got)
+	}
+	if got := Time(250 * Millisecond).Seconds(); got != 0.25 {
+		t.Errorf("Seconds() = %v, want 0.25", got)
+	}
+}
+
+func TestEngineAfterOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	e.After(30, func() { order = append(order, 3) })
+	e.After(10, func() { order = append(order, 1) })
+	e.After(20, func() { order = append(order, 2) })
+	e.After(10, func() { order = append(order, 11) }) // same time: FIFO
+	end := e.Run(MaxTime)
+	if end != 30 {
+		t.Fatalf("final time = %v, want 30", end)
+	}
+	want := []int{1, 11, 2, 3}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestEngineHorizon(t *testing.T) {
+	e := NewEngine(1)
+	fired := 0
+	e.After(10, func() { fired++ })
+	e.After(100, func() { fired++ })
+	e.Run(50)
+	if fired != 1 {
+		t.Fatalf("fired = %d events before horizon, want 1", fired)
+	}
+	if e.Now() != 50 {
+		t.Fatalf("now = %v, want horizon 50", e.Now())
+	}
+	e.Run(MaxTime)
+	if fired != 2 {
+		t.Fatalf("fired = %d after second run, want 2", fired)
+	}
+}
+
+func TestProcWait(t *testing.T) {
+	e := NewEngine(1)
+	var ts []Time
+	e.Spawn("w", func(p *Proc) {
+		ts = append(ts, p.Now())
+		p.Wait(5 * Millisecond)
+		ts = append(ts, p.Now())
+		p.Wait(0)
+		ts = append(ts, p.Now())
+		p.WaitUntil(20 * Millisecond)
+		ts = append(ts, p.Now())
+		p.WaitUntil(1 * Millisecond) // in the past: no-op
+		ts = append(ts, p.Now())
+	})
+	e.Run(MaxTime)
+	want := []Time{0, 5 * Millisecond, 5 * Millisecond, 20 * Millisecond, 20 * Millisecond}
+	if len(ts) != len(want) {
+		t.Fatalf("ts = %v, want %v", ts, want)
+	}
+	for i := range want {
+		if ts[i] != want[i] {
+			t.Fatalf("ts[%d] = %v, want %v", i, ts[i], want[i])
+		}
+	}
+	if e.LiveProcs() != 0 {
+		t.Fatalf("LiveProcs = %d, want 0", e.LiveProcs())
+	}
+}
+
+func TestProcInterleaving(t *testing.T) {
+	e := NewEngine(1)
+	var log []string
+	e.Spawn("a", func(p *Proc) {
+		p.Wait(10)
+		log = append(log, "a10")
+		p.Wait(20)
+		log = append(log, "a30")
+	})
+	e.Spawn("b", func(p *Proc) {
+		p.Wait(20)
+		log = append(log, "b20")
+	})
+	e.Run(MaxTime)
+	want := []string{"a10", "b20", "a30"}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Fatalf("log = %v, want %v", log, want)
+		}
+	}
+}
+
+func TestResourceQueueing(t *testing.T) {
+	e := NewEngine(1)
+	r := NewResource(e, "disk", 1)
+	var finish []Time
+	for i := 0; i < 3; i++ {
+		e.Spawn("u", func(p *Proc) {
+			r.Use(p, 10)
+			finish = append(finish, p.Now())
+		})
+	}
+	e.Run(MaxTime)
+	want := []Time{10, 20, 30}
+	for i := range want {
+		if finish[i] != want[i] {
+			t.Fatalf("finish = %v, want %v", finish, want)
+		}
+	}
+	if got := r.Acquisitions(); got != 3 {
+		t.Errorf("Acquisitions = %d, want 3", got)
+	}
+	if r.PeakQueueLen() != 2 {
+		t.Errorf("PeakQueueLen = %d, want 2", r.PeakQueueLen())
+	}
+}
+
+func TestResourceCapacityParallelism(t *testing.T) {
+	e := NewEngine(1)
+	r := NewResource(e, "cpu", 2)
+	var finish []Time
+	for i := 0; i < 4; i++ {
+		e.Spawn("u", func(p *Proc) {
+			r.Use(p, 10)
+			finish = append(finish, p.Now())
+		})
+	}
+	e.Run(MaxTime)
+	// Two at a time: finish at 10,10,20,20.
+	want := []Time{10, 10, 20, 20}
+	for i := range want {
+		if finish[i] != want[i] {
+			t.Fatalf("finish = %v, want %v", finish, want)
+		}
+	}
+}
+
+func TestResourceUtilization(t *testing.T) {
+	e := NewEngine(1)
+	r := NewResource(e, "link", 1)
+	e.Spawn("u", func(p *Proc) {
+		r.Use(p, 50)
+		p.Wait(50)
+	})
+	e.Run(MaxTime)
+	if u := r.Utilization(); u < 0.49 || u > 0.51 {
+		t.Errorf("Utilization = %v, want ~0.5", u)
+	}
+}
+
+func TestTryAcquire(t *testing.T) {
+	e := NewEngine(1)
+	r := NewResource(e, "x", 1)
+	if !r.TryAcquire() {
+		t.Fatal("first TryAcquire should succeed")
+	}
+	if r.TryAcquire() {
+		t.Fatal("second TryAcquire should fail")
+	}
+	r.Release()
+	if !r.TryAcquire() {
+		t.Fatal("TryAcquire after release should succeed")
+	}
+}
+
+func TestQueuePutGet(t *testing.T) {
+	e := NewEngine(1)
+	q := NewQueue(e, "q")
+	var got []int
+	e.Spawn("consumer", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			got = append(got, q.Get(p).(int))
+		}
+	})
+	e.Spawn("producer", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			p.Wait(10)
+			q.Put(i)
+		}
+	})
+	e.Run(MaxTime)
+	for i := 0; i < 3; i++ {
+		if got[i] != i {
+			t.Fatalf("got = %v, want [0 1 2]", got)
+		}
+	}
+	if q.Puts() != 3 {
+		t.Errorf("Puts = %d, want 3", q.Puts())
+	}
+}
+
+func TestQueueTryGet(t *testing.T) {
+	e := NewEngine(1)
+	q := NewQueue(e, "q")
+	if _, ok := q.TryGet(); ok {
+		t.Fatal("TryGet on empty queue should fail")
+	}
+	q.Put("a")
+	v, ok := q.TryGet()
+	if !ok || v.(string) != "a" {
+		t.Fatalf("TryGet = %v,%v; want a,true", v, ok)
+	}
+}
+
+func TestSignalBroadcast(t *testing.T) {
+	e := NewEngine(1)
+	s := NewSignal(e)
+	woke := 0
+	for i := 0; i < 3; i++ {
+		e.Spawn("w", func(p *Proc) {
+			s.Wait(p)
+			woke++
+		})
+	}
+	e.Spawn("firer", func(p *Proc) {
+		p.Wait(100)
+		if s.NumWaiters() != 3 {
+			t.Errorf("NumWaiters = %d, want 3", s.NumWaiters())
+		}
+		s.Fire()
+	})
+	e.Run(MaxTime)
+	if woke != 3 {
+		t.Fatalf("woke = %d, want 3", woke)
+	}
+}
+
+func TestWaitGroup(t *testing.T) {
+	e := NewEngine(1)
+	wg := NewWaitGroup(e)
+	wg.Add(3)
+	var doneAt Time
+	e.Spawn("waiter", func(p *Proc) {
+		wg.Wait(p)
+		doneAt = p.Now()
+	})
+	for i := 1; i <= 3; i++ {
+		d := Time(i * 10)
+		e.Spawn("worker", func(p *Proc) {
+			p.Wait(d)
+			wg.Done()
+		})
+	}
+	e.Run(MaxTime)
+	if doneAt != 30 {
+		t.Fatalf("waiter released at %v, want 30", doneAt)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewStreamRNG(42)
+	b := NewStreamRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Stream("x").Int63() != b.Stream("x").Int63() {
+			t.Fatal("same seed+stream should give identical sequences")
+		}
+	}
+	// Different streams must diverge.
+	c := NewStreamRNG(42)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if c.Stream("x").Int63() == c.Stream("y").Int63() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams x and y coincide %d/100 times", same)
+	}
+}
+
+func TestRNGDistributions(t *testing.T) {
+	r := NewStreamRNG(7)
+	var sum Time
+	n := 20000
+	for i := 0; i < n; i++ {
+		sum += r.Exponential("e", 100*Microsecond)
+	}
+	mean := float64(sum) / float64(n)
+	if mean < 95000 || mean > 105000 {
+		t.Errorf("exponential mean = %v ns, want ~100000", mean)
+	}
+	for i := 0; i < 1000; i++ {
+		u := r.Uniform("u", 10, 20)
+		if u < 10 || u >= 20 {
+			t.Fatalf("Uniform out of range: %v", u)
+		}
+		if nv := r.Normal("n", 100, 1000); nv < 0 {
+			t.Fatalf("Normal returned negative %v", nv)
+		}
+	}
+	if got := r.Uniform("u", 20, 10); got != 20 {
+		t.Errorf("Uniform with hi<=lo = %v, want lo", got)
+	}
+}
+
+// Property: for any set of non-negative delays, processes finish exactly at
+// their delay, and engine time ends at the max.
+func TestPropWaitFinishTimes(t *testing.T) {
+	f := func(delays []uint16) bool {
+		if len(delays) == 0 {
+			return true
+		}
+		if len(delays) > 64 {
+			delays = delays[:64]
+		}
+		e := NewEngine(3)
+		results := make([]Time, len(delays))
+		var max Time
+		for i, d := range delays {
+			i, d := i, Time(d)
+			if d > max {
+				max = d
+			}
+			e.Spawn("p", func(p *Proc) {
+				p.Wait(d)
+				results[i] = p.Now()
+			})
+		}
+		end := e.Run(MaxTime)
+		if end != max {
+			return false
+		}
+		for i, d := range delays {
+			if results[i] != Time(d) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a capacity-1 resource serializes; total makespan for k users of
+// service s equals k*s.
+func TestPropResourceSerialization(t *testing.T) {
+	f := func(k uint8, s uint16) bool {
+		users := int(k%16) + 1
+		svc := Time(s%1000) + 1
+		e := NewEngine(9)
+		r := NewResource(e, "r", 1)
+		for i := 0; i < users; i++ {
+			e.Spawn("u", func(p *Proc) { r.Use(p, svc) })
+		}
+		end := e.Run(MaxTime)
+		return end == Time(users)*svc
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := NewEngine(1)
+	e.Spawn("p", func(p *Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("negative Wait should panic")
+			}
+		}()
+		p.Wait(-1)
+	})
+	// The panic is recovered inside the proc; engine continues.
+	e.Run(MaxTime)
+}
+
+func TestEngineDeterminismAcrossRuns(t *testing.T) {
+	run := func() []Time {
+		e := NewEngine(5)
+		r := NewResource(e, "d", 2)
+		var finishes []Time
+		for i := 0; i < 10; i++ {
+			e.Spawn("u", func(p *Proc) {
+				d := e.RNG().Exponential("svc", 50*Microsecond)
+				p.Wait(e.RNG().Uniform("arr", 0, 100*Microsecond))
+				r.Use(p, d)
+				finishes = append(finishes, p.Now())
+			})
+		}
+		e.Run(MaxTime)
+		return finishes
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run not deterministic: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestAfterCancel(t *testing.T) {
+	e := NewEngine(1)
+	fired := 0
+	cancel := e.AfterCancel(100, func() { fired++ })
+	e.AfterCancel(200, func() { fired++ }) // not canceled
+	cancel()
+	cancel() // idempotent
+	e.Run(MaxTime)
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1 (one canceled)", fired)
+	}
+	if e.Pending() != 0 {
+		t.Errorf("pending = %d", e.Pending())
+	}
+}

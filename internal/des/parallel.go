@@ -1,0 +1,147 @@
+package des
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ParallelGroup executes several independent engines (logical partitions)
+// concurrently under conservative synchronization: time advances in
+// windows of the group's lookahead, and cross-partition interactions must
+// carry at least one lookahead of latency — the classic conservative
+// parallel-discrete-event-simulation contract (CMB-style, with barrier
+// windows instead of null messages). Within a window every partition runs
+// in its own goroutine; results are bit-identical to a sequential
+// execution because no cross event can land inside the window that emits
+// it.
+type ParallelGroup struct {
+	engines   []*Engine
+	lookahead Time
+
+	mu      sync.Mutex
+	inbox   []crossEvent
+	nextSeq uint64
+}
+
+// crossEvent is a pending cross-partition event.
+type crossEvent struct {
+	at   Time
+	to   int
+	from int
+	seq  uint64
+	fn   func()
+}
+
+// NewParallelGroup couples engines with the given lookahead (> 0).
+func NewParallelGroup(lookahead Time, engines ...*Engine) *ParallelGroup {
+	if lookahead <= 0 {
+		panic("des: parallel lookahead must be positive")
+	}
+	if len(engines) == 0 {
+		panic("des: parallel group needs at least one engine")
+	}
+	return &ParallelGroup{engines: engines, lookahead: lookahead}
+}
+
+// Engine returns partition i's engine.
+func (g *ParallelGroup) Engine(i int) *Engine { return g.engines[i] }
+
+// Lookahead returns the group lookahead.
+func (g *ParallelGroup) Lookahead() Time { return g.lookahead }
+
+// Send schedules fn to run on partition `to` after delay `delay` measured
+// from partition `from`'s current time. The delay must be at least the
+// group lookahead — that is what makes conservative windowed execution
+// correct. Safe to call from inside partition event handlers and
+// processes.
+func (g *ParallelGroup) Send(from, to int, delay Time, fn func()) {
+	if delay < g.lookahead {
+		panic(fmt.Sprintf("des: cross-partition delay %v below lookahead %v", delay, g.lookahead))
+	}
+	if to < 0 || to >= len(g.engines) || from < 0 || from >= len(g.engines) {
+		panic("des: cross-partition index out of range")
+	}
+	at := g.engines[from].Now() + delay
+	g.mu.Lock()
+	g.inbox = append(g.inbox, crossEvent{at: at, to: to, from: from, seq: g.nextSeq, fn: fn})
+	g.nextSeq++
+	g.mu.Unlock()
+}
+
+// Run executes all partitions until no events remain anywhere or the
+// horizon is reached, and returns the latest partition clock.
+func (g *ParallelGroup) Run(horizon Time) Time {
+	for {
+		// Find the earliest work item anywhere.
+		earliest := MaxTime
+		for _, e := range g.engines {
+			if at, ok := e.NextEventTime(); ok && at < earliest {
+				earliest = at
+			}
+		}
+		g.mu.Lock()
+		for _, ce := range g.inbox {
+			if ce.at < earliest {
+				earliest = ce.at
+			}
+		}
+		g.mu.Unlock()
+		if earliest == MaxTime || earliest > horizon {
+			break
+		}
+		windowEnd := earliest + g.lookahead
+		if windowEnd > horizon {
+			windowEnd = horizon
+		}
+
+		// Deliver cross events that fall inside this window. Sorting by
+		// (at, from, seq) keeps delivery deterministic regardless of
+		// goroutine interleaving in earlier windows.
+		g.mu.Lock()
+		var deliver []crossEvent
+		keep := g.inbox[:0]
+		for _, ce := range g.inbox {
+			if ce.at <= windowEnd {
+				deliver = append(deliver, ce)
+			} else {
+				keep = append(keep, ce)
+			}
+		}
+		g.inbox = keep
+		g.mu.Unlock()
+		sort.Slice(deliver, func(i, j int) bool {
+			if deliver[i].at != deliver[j].at {
+				return deliver[i].at < deliver[j].at
+			}
+			if deliver[i].from != deliver[j].from {
+				return deliver[i].from < deliver[j].from
+			}
+			return deliver[i].seq < deliver[j].seq
+		})
+		for _, ce := range deliver {
+			e := g.engines[ce.to]
+			fn := ce.fn
+			e.schedule(ce.at, fn)
+		}
+
+		// Execute the window concurrently, one goroutine per partition.
+		var wg sync.WaitGroup
+		for _, e := range g.engines {
+			wg.Add(1)
+			go func(e *Engine) {
+				defer wg.Done()
+				e.Run(windowEnd)
+				e.AdvanceTo(windowEnd)
+			}(e)
+		}
+		wg.Wait()
+	}
+	var last Time
+	for _, e := range g.engines {
+		if e.Now() > last {
+			last = e.Now()
+		}
+	}
+	return last
+}

@@ -1,0 +1,68 @@
+package des
+
+// Queue is an unbounded FIFO message store for inter-process communication
+// in simulated time: Put never blocks, Get blocks until an item is present.
+// It is the building block for MPI point-to-point channels and server
+// request queues.
+type Queue struct {
+	eng     *Engine
+	name    string
+	items   []interface{}
+	getters []*Proc
+
+	puts    uint64
+	peakLen int
+}
+
+// NewQueue creates an empty queue bound to engine e.
+func NewQueue(e *Engine, name string) *Queue {
+	return &Queue{eng: e, name: name}
+}
+
+// Put appends an item and wakes one waiting getter, if any.
+// Safe to call from process or event context.
+func (q *Queue) Put(v interface{}) {
+	q.items = append(q.items, v)
+	q.puts++
+	if len(q.items) > q.peakLen {
+		q.peakLen = len(q.items)
+	}
+	if len(q.getters) > 0 {
+		g := q.getters[0]
+		q.getters = q.getters[1:]
+		g.wakeNow()
+	}
+}
+
+// Get removes and returns the oldest item, blocking until one is available.
+func (q *Queue) Get(p *Proc) interface{} {
+	for len(q.items) == 0 {
+		q.getters = append(q.getters, p)
+		p.block()
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v
+}
+
+// TryGet removes and returns the oldest item without blocking.
+func (q *Queue) TryGet() (interface{}, bool) {
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}
+
+// Len reports the number of queued items.
+func (q *Queue) Len() int { return len(q.items) }
+
+// PeakLen reports the maximum observed queue length.
+func (q *Queue) PeakLen() int { return q.peakLen }
+
+// Puts reports the total number of items ever enqueued.
+func (q *Queue) Puts() uint64 { return q.puts }
+
+// Name returns the queue name.
+func (q *Queue) Name() string { return q.name }

@@ -1,0 +1,108 @@
+package des
+
+import "fmt"
+
+// Resource models a server with fixed capacity and a FIFO wait queue:
+// network links, disk queues, CPU slots. Acquire blocks the calling process
+// until a unit is available; Release frees a unit and wakes the head waiter.
+type Resource struct {
+	eng      *Engine
+	name     string
+	capacity int
+	inUse    int
+	waiters  []*Proc
+
+	// Utilization accounting.
+	busyTime   Time // integral of inUse over time, in unit-nanoseconds
+	lastChange Time
+	acquired   uint64 // total successful acquisitions
+	peakQueue  int
+}
+
+// NewResource creates a resource with the given capacity (>= 1).
+func NewResource(e *Engine, name string, capacity int) *Resource {
+	if capacity < 1 {
+		panic(fmt.Sprintf("des: resource %q capacity %d < 1", name, capacity))
+	}
+	return &Resource{eng: e, name: name, capacity: capacity}
+}
+
+func (r *Resource) account() {
+	r.busyTime += Time(r.inUse) * (r.eng.now - r.lastChange)
+	r.lastChange = r.eng.now
+}
+
+// Acquire obtains one unit of the resource, blocking in FIFO order.
+func (r *Resource) Acquire(p *Proc) {
+	for r.inUse >= r.capacity {
+		r.waiters = append(r.waiters, p)
+		if len(r.waiters) > r.peakQueue {
+			r.peakQueue = len(r.waiters)
+		}
+		p.block()
+	}
+	r.account()
+	r.inUse++
+	r.acquired++
+}
+
+// TryAcquire obtains a unit without blocking; it reports whether it succeeded.
+func (r *Resource) TryAcquire() bool {
+	if r.inUse >= r.capacity {
+		return false
+	}
+	r.account()
+	r.inUse++
+	r.acquired++
+	return true
+}
+
+// Release returns one unit and wakes the longest-waiting process, if any.
+func (r *Resource) Release() {
+	if r.inUse <= 0 {
+		panic(fmt.Sprintf("des: release of idle resource %q", r.name))
+	}
+	r.account()
+	r.inUse--
+	if len(r.waiters) > 0 {
+		w := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		w.wakeNow()
+	}
+}
+
+// Use acquires the resource, holds it for service time d, then releases it.
+// This is the common pattern for queueing servers (disks, NICs).
+func (r *Resource) Use(p *Proc, d Time) {
+	r.Acquire(p)
+	p.Wait(d)
+	r.Release()
+}
+
+// InUse reports the number of units currently held.
+func (r *Resource) InUse() int { return r.inUse }
+
+// QueueLen reports the number of processes waiting.
+func (r *Resource) QueueLen() int { return len(r.waiters) }
+
+// PeakQueueLen reports the maximum observed wait-queue length.
+func (r *Resource) PeakQueueLen() int { return r.peakQueue }
+
+// Acquisitions reports the total number of successful acquisitions.
+func (r *Resource) Acquisitions() uint64 { return r.acquired }
+
+// Utilization returns mean busy fraction of capacity over [0, now].
+func (r *Resource) Utilization() float64 {
+	now := r.eng.now
+	if now == 0 {
+		return 0
+	}
+	busy := r.busyTime + Time(r.inUse)*(now-r.lastChange)
+	return float64(busy) / (float64(now) * float64(r.capacity))
+}
+
+// Name returns the resource name.
+func (r *Resource) Name() string { return r.name }
+
+// Capacity returns the configured capacity.
+func (r *Resource) Capacity() int { return r.capacity }

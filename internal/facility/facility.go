@@ -1,0 +1,321 @@
+// Package facility simulates a whole computing facility over time: a job
+// stream with stochastic arrivals and a configurable workload mix is
+// scheduled onto a node pool by the workload manager, executed against the
+// shared parallel file system, and observed by the server-side monitor.
+// This is the "I/O behavior of the storage system as a whole" perspective
+// of §IV-B1 (Gunasekaran et al., Lockwood et al.'s year-in-the-life, Patel
+// et al.) in miniature: the same analyses — read/write mix, utilization,
+// interference — run on the generated logs.
+package facility
+
+import (
+	"fmt"
+	"sort"
+
+	"pioeval/internal/des"
+	"pioeval/internal/monitor"
+	"pioeval/internal/pfs"
+	"pioeval/internal/posixio"
+	"pioeval/internal/sched"
+)
+
+// JobKind classifies facility jobs.
+type JobKind int
+
+// Facility job kinds.
+const (
+	Checkpoint JobKind = iota // traditional write-heavy simulation
+	DLTraining                // read-heavy shuffled training
+	Analytics                 // scan + small shuffle files
+	MetaHeavy                 // workflow-like metadata churn
+	numKinds
+)
+
+var kindNames = [...]string{"checkpoint", "dltraining", "analytics", "metaheavy"}
+
+// String returns the kind name.
+func (k JobKind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Config describes a facility run.
+type Config struct {
+	Seed    int64
+	Cluster pfs.Config
+	// Nodes is the compute pool the workload manager schedules onto.
+	Nodes int
+	// Jobs is the number of jobs submitted.
+	Jobs int
+	// MeanInterarrival spaces job submissions (exponential).
+	MeanInterarrival des.Time
+	// Mix weights each job kind (normalized internally). Empty = uniform
+	// over Checkpoint and DLTraining.
+	Mix map[JobKind]float64
+	// SampleInterval drives the server-side monitor.
+	SampleInterval des.Time
+	// JobScale multiplies per-job I/O volume (1 = default sizes).
+	JobScale int64
+	// InterferenceUtil is the OST utilization above which overlapping
+	// jobs count as interfering (default 0.6).
+	InterferenceUtil float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Nodes <= 0 {
+		c.Nodes = 16
+	}
+	if c.Jobs <= 0 {
+		c.Jobs = 12
+	}
+	if c.MeanInterarrival <= 0 {
+		c.MeanInterarrival = 50 * des.Millisecond
+	}
+	if len(c.Mix) == 0 {
+		c.Mix = map[JobKind]float64{Checkpoint: 0.5, DLTraining: 0.5}
+	}
+	if c.SampleInterval <= 0 {
+		c.SampleInterval = 10 * des.Millisecond
+	}
+	if c.JobScale <= 0 {
+		c.JobScale = 1
+	}
+	if c.InterferenceUtil <= 0 {
+		c.InterferenceUtil = 0.6
+	}
+	return c
+}
+
+// JobResult records one executed job.
+type JobResult struct {
+	ID           string
+	Kind         JobKind
+	Nodes        int
+	Submit       des.Time
+	Start        des.Time
+	End          des.Time
+	BytesRead    int64
+	BytesWritten int64
+}
+
+// Result aggregates a facility run.
+type Result struct {
+	Jobs  []JobResult
+	Rates []monitor.Rates
+	// ReadFraction is bytes read / total bytes at the OSTs.
+	ReadFraction float64
+	// Interferences are job pairs that overlapped under high OST load.
+	Interferences []monitor.Interference
+	MDSOps        uint64
+	Makespan      des.Time
+	Utilization   float64 // scheduler node-pool utilization
+}
+
+// Run executes the facility simulation.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	e := des.NewEngine(cfg.Seed)
+	fs := pfs.New(e, cfg.Cluster)
+	rng := e.RNG()
+
+	// 1. Generate the job stream.
+	kinds := make([]JobKind, 0, int(numKinds))
+	weights := make([]float64, 0, int(numKinds))
+	var totalW float64
+	for k := JobKind(0); k < numKinds; k++ {
+		if w := cfg.Mix[k]; w > 0 {
+			kinds = append(kinds, k)
+			weights = append(weights, w)
+			totalW += w
+		}
+	}
+	pick := func() JobKind {
+		u := rng.Stream("mix").Float64() * totalW
+		for i, w := range weights {
+			if u < w {
+				return kinds[i]
+			}
+			u -= w
+		}
+		return kinds[len(kinds)-1]
+	}
+
+	type plan struct {
+		job  sched.Job
+		kind JobKind
+	}
+	var plans []plan
+	var t des.Time
+	for i := 0; i < cfg.Jobs; i++ {
+		t += rng.Exponential("arrival", cfg.MeanInterarrival)
+		kind := pick()
+		nodes := 1 + rng.Stream("nodes").Intn(cfg.Nodes/2)
+		// Walltime estimate: generous bound; actual runtime emerges from
+		// the I/O simulation, so for the scheduler we use a fixed slot.
+		wall := 2 * des.Second
+		plans = append(plans, plan{
+			job: sched.Job{
+				ID: fmt.Sprintf("job%03d", i), Submit: t, Nodes: nodes,
+				Walltime: wall, Runtime: wall,
+			},
+			kind: kind,
+		})
+	}
+
+	// 2. Let the workload manager place the jobs.
+	jobs := make([]sched.Job, len(plans))
+	for i, p := range plans {
+		jobs[i] = p.job
+	}
+	log := sched.Simulate(jobs, cfg.Nodes, sched.EASYBackfill)
+	startOf := map[string]des.Time{}
+	for _, r := range log {
+		startOf[r.ID] = r.Start
+	}
+
+	// 3. Execute each job's I/O against the shared file system at its
+	// scheduled start time.
+	res := &Result{}
+	results := make([]JobResult, len(plans))
+	for i, p := range plans {
+		i, p := i, p
+		start := startOf[p.job.ID]
+		env := posixio.NewEnv(fs.NewClient("fac-"+p.job.ID), i, nil)
+		e.SpawnAt(start, p.job.ID, func(proc *des.Proc) {
+			jr := JobResult{
+				ID: p.job.ID, Kind: p.kind, Nodes: p.job.Nodes,
+				Submit: p.job.Submit, Start: proc.Now(),
+			}
+			runJobBody(proc, env, p.kind, p.job.ID, cfg.JobScale, &jr)
+			jr.End = proc.Now()
+			results[i] = jr
+		})
+	}
+
+	// 4. Monitor throughout.
+	horizon := sched.Makespan(log) + 10*des.Second
+	sampler := monitor.NewSampler(e, fs, cfg.SampleInterval, horizon)
+	e.Run(des.MaxTime)
+	sampler.Stop()
+	if e.LiveProcs() != 0 {
+		return nil, fmt.Errorf("facility: deadlock with %d live procs", e.LiveProcs())
+	}
+
+	// 5. Analyze.
+	res.Jobs = results
+	sort.Slice(res.Jobs, func(a, b int) bool { return res.Jobs[a].Start < res.Jobs[b].Start })
+	res.Rates = sampler.DeriveRates()
+	read, written := fs.TotalBytes()
+	if read+written > 0 {
+		res.ReadFraction = float64(read) / float64(read+written)
+	}
+	var acts []monitor.JobActivity
+	for _, j := range res.Jobs {
+		acts = append(acts, monitor.JobActivity{
+			JobID: j.ID, Start: j.Start, End: j.End,
+			Bytes: j.BytesRead + j.BytesWritten,
+		})
+	}
+	res.Interferences = monitor.Correlate(acts, res.Rates, cfg.InterferenceUtil)
+	res.MDSOps = fs.MDSStats().TotalOps
+	res.Makespan = e.Now()
+	res.Utilization = sched.Utilization(log, cfg.Nodes)
+	return res, nil
+}
+
+// runJobBody executes one job's I/O pattern. These are deliberately small
+// single-client analogs of the full generators in internal/workload — the
+// facility cares about the aggregate server-side picture, not per-job
+// fidelity.
+func runJobBody(p *des.Proc, env *posixio.Env, kind JobKind, id string, scale int64, jr *JobResult) {
+	base := "/" + id
+	switch kind {
+	case Checkpoint:
+		fd, err := env.Open(p, base+".ckpt", posixio.OCreate)
+		if err != nil {
+			return
+		}
+		for step := int64(0); step < 3; step++ {
+			p.Wait(20 * des.Millisecond) // compute
+			for off := int64(0); off < 8<<20*scale; off += 2 << 20 {
+				n, _ := env.Pwrite(p, fd, off, 2<<20)
+				jr.BytesWritten += n
+			}
+		}
+		_ = env.Close(p, fd)
+	case DLTraining:
+		fd, err := env.Open(p, base+".data", posixio.OCreate)
+		if err != nil {
+			return
+		}
+		total := 8 << 20 * scale
+		n, _ := env.Pwrite(p, fd, 0, total)
+		jr.BytesWritten += n
+		rng := p.Engine().RNG().Stream("dl." + id)
+		for i := int64(0); i < 3*total/(128<<10); i++ {
+			off := rng.Int63n(total - 128<<10)
+			r, _ := env.Pread(p, fd, off, 128<<10)
+			jr.BytesRead += r
+		}
+		_ = env.Close(p, fd)
+	case Analytics:
+		fd, err := env.Open(p, base+".part", posixio.OCreate)
+		if err != nil {
+			return
+		}
+		total := 16 << 20 * scale
+		n, _ := env.Pwrite(p, fd, 0, total)
+		jr.BytesWritten += n
+		for off := int64(0); off < total; off += 4 << 20 {
+			r, _ := env.Pread(p, fd, off, 4<<20)
+			jr.BytesRead += r
+		}
+		_ = env.Close(p, fd)
+		for b := 0; b < 8; b++ {
+			sfd, err := env.Open(p, fmt.Sprintf("%s.shuf%d", base, b), posixio.OCreate)
+			if err != nil {
+				continue
+			}
+			w, _ := env.Pwrite(p, sfd, 0, 64<<10)
+			jr.BytesWritten += w
+			_ = env.Close(p, sfd)
+		}
+	case MetaHeavy:
+		_ = env.Mkdir(p, base)
+		for i := 0; i < int(16*scale); i++ {
+			path := fmt.Sprintf("%s/t%d", base, i)
+			fd, err := env.Open(p, path, posixio.OCreate)
+			if err != nil {
+				continue
+			}
+			w, _ := env.Pwrite(p, fd, 0, 32<<10)
+			jr.BytesWritten += w
+			_ = env.Close(p, fd)
+			_, _ = env.Stat(p, path)
+		}
+	}
+}
+
+// KindReadFractions summarizes per-kind read fractions from job results.
+func KindReadFractions(jobs []JobResult) map[JobKind]float64 {
+	type agg struct{ r, w int64 }
+	sums := map[JobKind]*agg{}
+	for _, j := range jobs {
+		a := sums[j.Kind]
+		if a == nil {
+			a = &agg{}
+			sums[j.Kind] = a
+		}
+		a.r += j.BytesRead
+		a.w += j.BytesWritten
+	}
+	out := map[JobKind]float64{}
+	for k, a := range sums {
+		if a.r+a.w > 0 {
+			out[k] = float64(a.r) / float64(a.r+a.w)
+		}
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+package facility
+
+import (
+	"testing"
+
+	"pioeval/internal/blockdev"
+	"pioeval/internal/des"
+	"pioeval/internal/pfs"
+)
+
+func cluster() pfs.Config {
+	cfg := pfs.DefaultConfig()
+	cfg.NumIONodes = 0
+	cfg.OSTDevice = func() blockdev.Model { return blockdev.DefaultSSD() }
+	return cfg
+}
+
+func TestFacilityRunsAllJobs(t *testing.T) {
+	res, err := Run(Config{
+		Seed: 1, Cluster: cluster(), Jobs: 10,
+		Mix: map[JobKind]float64{Checkpoint: 1, DLTraining: 1, Analytics: 1, MetaHeavy: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Jobs) != 10 {
+		t.Fatalf("jobs = %d", len(res.Jobs))
+	}
+	seen := map[JobKind]bool{}
+	for _, j := range res.Jobs {
+		if j.End <= j.Start {
+			t.Errorf("job %s has empty interval", j.ID)
+		}
+		if j.Start < j.Submit {
+			t.Errorf("job %s started before submission", j.ID)
+		}
+		if j.BytesRead+j.BytesWritten == 0 {
+			t.Errorf("job %s moved no data", j.ID)
+		}
+		seen[j.Kind] = true
+	}
+	if len(seen) < 3 {
+		t.Errorf("kinds seen = %v, want variety", seen)
+	}
+	if res.MDSOps == 0 || res.Makespan <= 0 {
+		t.Errorf("result = %+v", res)
+	}
+	if res.Utilization <= 0 || res.Utilization > 1 {
+		t.Errorf("scheduler utilization = %v", res.Utilization)
+	}
+	if len(res.Rates) == 0 {
+		t.Error("no monitor rates")
+	}
+}
+
+func TestFacilityMixShiftsReadFraction(t *testing.T) {
+	// The §V / C1 claim at facility scale.
+	frac := func(mix map[JobKind]float64) float64 {
+		res, err := Run(Config{Seed: 2, Cluster: cluster(), Jobs: 8, Mix: mix})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.ReadFraction
+	}
+	writeHeavy := frac(map[JobKind]float64{Checkpoint: 1})
+	readHeavy := frac(map[JobKind]float64{DLTraining: 1})
+	if writeHeavy >= 0.2 {
+		t.Errorf("checkpoint facility read fraction = %.2f", writeHeavy)
+	}
+	if readHeavy <= 0.5 {
+		t.Errorf("DL facility read fraction = %.2f", readHeavy)
+	}
+}
+
+func TestFacilityDeterminism(t *testing.T) {
+	run := func() *Result {
+		res, err := Run(Config{Seed: 3, Cluster: cluster(), Jobs: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Makespan != b.Makespan || a.ReadFraction != b.ReadFraction || a.MDSOps != b.MDSOps {
+		t.Fatalf("nondeterministic facility: %+v vs %+v", a, b)
+	}
+	for i := range a.Jobs {
+		if a.Jobs[i] != b.Jobs[i] {
+			t.Fatalf("job %d differs: %+v vs %+v", i, a.Jobs[i], b.Jobs[i])
+		}
+	}
+}
+
+func TestKindReadFractions(t *testing.T) {
+	res, err := Run(Config{
+		Seed: 4, Cluster: cluster(), Jobs: 12,
+		Mix: map[JobKind]float64{Checkpoint: 1, DLTraining: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr := KindReadFractions(res.Jobs)
+	if ck, ok := fr[Checkpoint]; ok && ck > 0.1 {
+		t.Errorf("checkpoint read fraction = %.2f", ck)
+	}
+	if dl, ok := fr[DLTraining]; ok && dl < 0.5 {
+		t.Errorf("DL read fraction = %.2f", dl)
+	}
+}
+
+func TestFacilityInterferenceUnderPressure(t *testing.T) {
+	// Slow HDD cluster + rapid arrivals: overlapping jobs must be flagged.
+	cfg := pfs.DefaultConfig()
+	cfg.NumIONodes = 0 // HDD OSTs
+	res, err := Run(Config{
+		Seed: 5, Cluster: cfg, Jobs: 6,
+		MeanInterarrival: 5 * des.Millisecond,
+		Mix:              map[JobKind]float64{Checkpoint: 1},
+		JobScale:         2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Interferences) == 0 {
+		t.Error("no interference detected under heavy concurrent load")
+	}
+}
+
+func TestJobKindString(t *testing.T) {
+	if Checkpoint.String() != "checkpoint" || MetaHeavy.String() != "metaheavy" {
+		t.Error("kind names")
+	}
+}

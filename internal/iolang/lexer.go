@@ -1,0 +1,157 @@
+// Package iolang implements a small domain-specific language for
+// describing synthetic I/O workloads, in the role of the CODES I/O
+// language: scripted open/read/write/metadata operations with loops,
+// per-rank parameterization, and size/duration literals. Scripts can be
+// interpreted directly against the simulated file system or compiled to
+// concrete op streams for the replayer — the two "workload consumer" paths
+// of the IOWA abstraction.
+//
+// Example:
+//
+//	workload "checkpoint" {
+//	    ranks 8
+//	    stripe count=4 size=1MB
+//	    loop 5 {
+//	        compute 100ms
+//	        barrier
+//	        write "/ckpt" offset=rank*16MB size=16MB chunk=4MB
+//	    }
+//	}
+package iolang
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies lexer tokens.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber // integer with optional size/duration suffix, already scaled
+	tokString
+	tokLBrace
+	tokRBrace
+	tokEquals
+	tokStar
+	tokPlus
+)
+
+// token is one lexeme.
+type token struct {
+	kind tokKind
+	text string
+	num  int64
+	line int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "EOF"
+	case tokNumber:
+		return fmt.Sprintf("%d", t.num)
+	case tokString:
+		return fmt.Sprintf("%q", t.text)
+	default:
+		return t.text
+	}
+}
+
+// unit multipliers for sizes (bytes) and durations (nanoseconds).
+var unitScale = map[string]int64{
+	"B": 1, "KB": 1 << 10, "MB": 1 << 20, "GB": 1 << 30,
+	"ns": 1, "us": 1_000, "ms": 1_000_000, "s": 1_000_000_000,
+}
+
+// lex tokenizes src. Comments run from '#' to end of line.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '#':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '{':
+			toks = append(toks, token{kind: tokLBrace, text: "{", line: line})
+			i++
+		case c == '}':
+			toks = append(toks, token{kind: tokRBrace, text: "}", line: line})
+			i++
+		case c == '=':
+			toks = append(toks, token{kind: tokEquals, text: "=", line: line})
+			i++
+		case c == '*':
+			toks = append(toks, token{kind: tokStar, text: "*", line: line})
+			i++
+		case c == '+':
+			toks = append(toks, token{kind: tokPlus, text: "+", line: line})
+			i++
+		case c == '"':
+			j := i + 1
+			for j < len(src) && src[j] != '"' {
+				if src[j] == '\n' {
+					return nil, fmt.Errorf("iolang:%d: unterminated string", line)
+				}
+				j++
+			}
+			if j >= len(src) {
+				return nil, fmt.Errorf("iolang:%d: unterminated string", line)
+			}
+			toks = append(toks, token{kind: tokString, text: src[i+1 : j], line: line})
+			i = j + 1
+		case unicode.IsDigit(rune(c)):
+			j := i
+			for j < len(src) && unicode.IsDigit(rune(src[j])) {
+				j++
+			}
+			numEnd := j
+			for j < len(src) && unicode.IsLetter(rune(src[j])) {
+				j++
+			}
+			var n int64
+			for _, d := range src[i:numEnd] {
+				n = n*10 + int64(d-'0')
+			}
+			if suffix := src[numEnd:j]; suffix != "" {
+				scale, ok := unitScale[suffix]
+				if !ok {
+					return nil, fmt.Errorf("iolang:%d: unknown unit %q", line, suffix)
+				}
+				n *= scale
+			}
+			toks = append(toks, token{kind: tokNumber, num: n, line: line})
+			i = j
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i
+			for j < len(src) && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_') {
+				j++
+			}
+			toks = append(toks, token{kind: tokIdent, text: src[i:j], line: line})
+			i = j
+		default:
+			return nil, fmt.Errorf("iolang:%d: unexpected character %q", line, c)
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, line: line})
+	return toks, nil
+}
+
+// substitute expands ${rank} and ${iter} in path strings.
+func substitute(path string, rank, iter int) string {
+	path = strings.ReplaceAll(path, "${rank}", fmt.Sprintf("%d", rank))
+	path = strings.ReplaceAll(path, "${iter}", fmt.Sprintf("%d", iter))
+	return path
+}

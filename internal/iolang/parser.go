@@ -1,0 +1,307 @@
+package iolang
+
+import "fmt"
+
+// Expr is an integer expression over literals and the variables rank/iter.
+type Expr interface {
+	Eval(rank, iter int) int64
+}
+
+type litExpr int64
+
+func (l litExpr) Eval(int, int) int64 { return int64(l) }
+
+type varExpr string // "rank" or "iter"
+
+func (v varExpr) Eval(rank, iter int) int64 {
+	if v == "rank" {
+		return int64(rank)
+	}
+	return int64(iter)
+}
+
+type binExpr struct {
+	op   byte // '*' or '+'
+	l, r Expr
+}
+
+func (b binExpr) Eval(rank, iter int) int64 {
+	lv, rv := b.l.Eval(rank, iter), b.r.Eval(rank, iter)
+	if b.op == '*' {
+		return lv * rv
+	}
+	return lv + rv
+}
+
+// Stmt is one workload statement.
+type Stmt struct {
+	// Kind is one of: compute, barrier, open, close, read, write, fsync,
+	// stat, mkdir, unlink, loop.
+	Kind string
+	Path string // with ${rank}/${iter} placeholders
+	// Named arguments (offset, size, chunk) and the compute duration.
+	Offset Expr
+	Size   Expr
+	Chunk  Expr
+	Dur    Expr
+	Create bool
+	// Loop fields.
+	Count int
+	Body  []Stmt
+}
+
+// Workload is a parsed script.
+type Workload struct {
+	Name        string
+	Ranks       int
+	StripeCount int
+	StripeSize  int64
+	Body        []Stmt
+}
+
+// Parse compiles a script into a Workload.
+func Parse(src string) (*Workload, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	w, err := p.workload()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokEOF {
+		return nil, p.errf("trailing input after workload block")
+	}
+	return w, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("iolang:%d: %s (at %s)", p.peek().line, fmt.Sprintf(format, args...), p.peek())
+}
+
+func (p *parser) expect(kind tokKind, what string) (token, error) {
+	if p.peek().kind != kind {
+		return token{}, p.errf("expected %s", what)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) expectIdent(word string) error {
+	t := p.peek()
+	if t.kind != tokIdent || t.text != word {
+		return p.errf("expected %q", word)
+	}
+	p.next()
+	return nil
+}
+
+func (p *parser) workload() (*Workload, error) {
+	if err := p.expectIdent("workload"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokString, "workload name string")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLBrace, "{"); err != nil {
+		return nil, err
+	}
+	w := &Workload{Name: name.text, Ranks: 1}
+	for p.peek().kind != tokRBrace {
+		t := p.peek()
+		if t.kind != tokIdent {
+			return nil, p.errf("expected statement")
+		}
+		switch t.text {
+		case "ranks":
+			p.next()
+			n, err := p.expect(tokNumber, "rank count")
+			if err != nil {
+				return nil, err
+			}
+			w.Ranks = int(n.num)
+		case "stripe":
+			p.next()
+			seen := false
+			for p.peek().kind == tokIdent && (p.peek().text == "count" || p.peek().text == "size") {
+				key := p.next().text
+				seen = true
+				if _, err := p.expect(tokEquals, "="); err != nil {
+					return nil, err
+				}
+				v, err := p.expect(tokNumber, "stripe value")
+				if err != nil {
+					return nil, err
+				}
+				if key == "count" {
+					w.StripeCount = int(v.num)
+				} else {
+					w.StripeSize = v.num
+				}
+			}
+			if !seen {
+				return nil, p.errf("stripe needs count= or size=")
+			}
+		default:
+			s, err := p.stmt()
+			if err != nil {
+				return nil, err
+			}
+			w.Body = append(w.Body, s)
+		}
+	}
+	p.next() // }
+	if w.Ranks <= 0 {
+		return nil, fmt.Errorf("iolang: workload %q has no ranks", w.Name)
+	}
+	return w, nil
+}
+
+func (p *parser) stmt() (Stmt, error) {
+	t, err := p.expect(tokIdent, "statement keyword")
+	if err != nil {
+		return Stmt{}, err
+	}
+	switch t.text {
+	case "barrier":
+		return Stmt{Kind: "barrier"}, nil
+	case "compute":
+		d, err := p.expr()
+		if err != nil {
+			return Stmt{}, err
+		}
+		return Stmt{Kind: "compute", Dur: d}, nil
+	case "loop":
+		n, err := p.expect(tokNumber, "loop count")
+		if err != nil {
+			return Stmt{}, err
+		}
+		if _, err := p.expect(tokLBrace, "{"); err != nil {
+			return Stmt{}, err
+		}
+		s := Stmt{Kind: "loop", Count: int(n.num)}
+		for p.peek().kind != tokRBrace {
+			inner, err := p.stmt()
+			if err != nil {
+				return Stmt{}, err
+			}
+			s.Body = append(s.Body, inner)
+		}
+		p.next()
+		return s, nil
+	case "open", "close", "fsync", "stat", "mkdir", "rmdir", "readdir", "unlink", "read", "write":
+		path, err := p.expect(tokString, "path string")
+		if err != nil {
+			return Stmt{}, err
+		}
+		s := Stmt{Kind: t.text, Path: path.text}
+		for p.peek().kind == tokIdent {
+			key := p.peek().text
+			switch key {
+			case "create":
+				p.next()
+				s.Create = true
+				continue
+			case "offset", "size", "chunk":
+				p.next()
+				if _, err := p.expect(tokEquals, "="); err != nil {
+					return Stmt{}, err
+				}
+				e, err := p.expr()
+				if err != nil {
+					return Stmt{}, err
+				}
+				switch key {
+				case "offset":
+					s.Offset = e
+				case "size":
+					s.Size = e
+				case "chunk":
+					s.Chunk = e
+				}
+			default:
+				// Next statement keyword; stop consuming arguments.
+				return p.finishIO(s)
+			}
+		}
+		return p.finishIO(s)
+	default:
+		return Stmt{}, p.errf("unknown statement %q", t.text)
+	}
+}
+
+// finishIO validates data-op arguments.
+func (p *parser) finishIO(s Stmt) (Stmt, error) {
+	if s.Kind == "read" || s.Kind == "write" {
+		if s.Size == nil {
+			return Stmt{}, fmt.Errorf("iolang: %s %q needs size=", s.Kind, s.Path)
+		}
+		if s.Offset == nil {
+			s.Offset = litExpr(0)
+		}
+	}
+	return s, nil
+}
+
+// expr parses sums of products: term (* term)* (+ ...)*.
+func (p *parser) expr() (Expr, error) {
+	left, err := p.product()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokPlus {
+		p.next()
+		right, err := p.product()
+		if err != nil {
+			return nil, err
+		}
+		left = binExpr{op: '+', l: left, r: right}
+	}
+	return left, nil
+}
+
+func (p *parser) product() (Expr, error) {
+	left, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokStar {
+		p.next()
+		right, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		left = binExpr{op: '*', l: left, r: right}
+	}
+	return left, nil
+}
+
+func (p *parser) term() (Expr, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokNumber:
+		p.next()
+		return litExpr(t.num), nil
+	case t.kind == tokIdent && (t.text == "rank" || t.text == "iter"):
+		p.next()
+		return varExpr(t.text), nil
+	default:
+		return nil, p.errf("expected number, rank, or iter")
+	}
+}

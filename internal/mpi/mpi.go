@@ -1,0 +1,240 @@
+// Package mpi simulates an MPI runtime on top of the discrete-event engine:
+// ranks are simulated processes, point-to-point messages pay a latency +
+// bandwidth (alpha-beta) cost, and collectives use logarithmic cost models.
+// It is the middleware under the simulated MPI-IO layer (internal/mpiio)
+// and the vehicle for all multi-rank workloads.
+package mpi
+
+import (
+	"fmt"
+
+	"pioeval/internal/des"
+)
+
+// Options configures the communication cost model.
+type Options struct {
+	// Alpha is the per-message latency.
+	Alpha des.Time
+	// BetaBps is the per-rank link bandwidth in bytes/second.
+	BetaBps float64
+	// EagerLimit is unused by the cost model but kept for reporting; all
+	// sends are eager.
+	EagerLimit int64
+}
+
+// DefaultOptions returns an InfiniBand-like cost model: 1.5us latency,
+// 10 GB/s bandwidth.
+func DefaultOptions() Options {
+	return Options{Alpha: 1500 * des.Nanosecond, BetaBps: 10e9, EagerLimit: 64 << 10}
+}
+
+// xferCost returns alpha + size/beta.
+func (o Options) xferCost(size int64) des.Time {
+	t := o.Alpha
+	if o.BetaBps > 0 {
+		t += des.Time(float64(size) / o.BetaBps * float64(des.Second))
+	}
+	return t
+}
+
+// World is an MPI communicator: a fixed set of ranks on one engine.
+type World struct {
+	eng  *des.Engine
+	size int
+	opts Options
+
+	queues map[chanKey]*des.Queue
+
+	// Barrier state.
+	barGen    int
+	barCount  int
+	barSignal *des.Signal
+
+	// Statistics.
+	msgs      uint64
+	bytesSent int64
+}
+
+type chanKey struct {
+	src, dst, tag int
+}
+
+// Message is a received point-to-point message.
+type Message struct {
+	Src  int
+	Tag  int
+	Size int64
+}
+
+// NewWorld creates a communicator with size ranks.
+func NewWorld(e *des.Engine, size int, opts Options) *World {
+	if size < 1 {
+		panic("mpi: world size must be >= 1")
+	}
+	return &World{
+		eng:       e,
+		size:      size,
+		opts:      opts,
+		queues:    make(map[chanKey]*des.Queue),
+		barSignal: des.NewSignal(e),
+	}
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Engine returns the simulation engine.
+func (w *World) Engine() *des.Engine { return w.eng }
+
+// Options returns the cost-model options.
+func (w *World) Options() Options { return w.opts }
+
+// Messages reports total point-to-point messages sent.
+func (w *World) Messages() uint64 { return w.msgs }
+
+// BytesSent reports total point-to-point payload bytes.
+func (w *World) BytesSent() int64 { return w.bytesSent }
+
+// Spawn launches fn once per rank as simulated processes. Call once; then
+// run the engine.
+func (w *World) Spawn(fn func(r *Rank)) {
+	for i := 0; i < w.size; i++ {
+		i := i
+		w.eng.Spawn(fmt.Sprintf("rank%d", i), func(p *des.Proc) {
+			fn(&Rank{w: w, id: i, p: p})
+		})
+	}
+}
+
+func (w *World) queue(k chanKey) *des.Queue {
+	q, ok := w.queues[k]
+	if !ok {
+		q = des.NewQueue(w.eng, fmt.Sprintf("mpi.%d.%d.%d", k.src, k.dst, k.tag))
+		w.queues[k] = q
+	}
+	return q
+}
+
+// Rank is one MPI process: the pairing of a rank id with its simulated
+// process. All methods must be called from the rank's own process.
+type Rank struct {
+	w  *World
+	id int
+	p  *des.Proc
+}
+
+// ID returns the rank number.
+func (r *Rank) ID() int { return r.id }
+
+// Size returns the communicator size.
+func (r *Rank) Size() int { return r.w.size }
+
+// Proc returns the underlying simulated process.
+func (r *Rank) Proc() *des.Proc { return r.p }
+
+// Now returns the current simulated time.
+func (r *Rank) Now() des.Time { return r.p.Now() }
+
+// Compute advances simulated time by d (models computation).
+func (r *Rank) Compute(d des.Time) { r.p.Wait(d) }
+
+// Send transmits size bytes to dst with tag; the sender blocks for the
+// transfer cost (eager protocol), after which the message is available at
+// the destination.
+func (r *Rank) Send(dst, tag int, size int64) {
+	if dst < 0 || dst >= r.w.size {
+		panic(fmt.Sprintf("mpi: send to invalid rank %d", dst))
+	}
+	r.p.Wait(r.w.opts.xferCost(size))
+	r.w.msgs++
+	r.w.bytesSent += size
+	r.w.queue(chanKey{r.id, dst, tag}).Put(Message{Src: r.id, Tag: tag, Size: size})
+}
+
+// Recv blocks until a message with the given source and tag arrives.
+func (r *Rank) Recv(src, tag int) Message {
+	if src < 0 || src >= r.w.size {
+		panic(fmt.Sprintf("mpi: recv from invalid rank %d", src))
+	}
+	v := r.w.queue(chanKey{src, r.id, tag}).Get(r.p)
+	return v.(Message)
+}
+
+// Sendrecv exchanges messages with a partner without deadlocking: the send
+// completes, then the receive blocks.
+func (r *Rank) Sendrecv(dst, sendTag int, size int64, src, recvTag int) Message {
+	r.Send(dst, sendTag, size)
+	return r.Recv(src, recvTag)
+}
+
+// Barrier synchronizes all ranks; the cost model adds a log2(P) latency
+// term to the release.
+func (r *Rank) Barrier() {
+	w := r.w
+	w.barCount++
+	if w.barCount == w.size {
+		w.barCount = 0
+		w.barGen++
+		// Dissemination barrier cost: ceil(log2 P) rounds of alpha.
+		r.p.Wait(w.opts.Alpha * des.Time(ceilLog2(w.size)))
+		w.barSignal.Fire()
+		return
+	}
+	gen := w.barGen
+	for w.barGen == gen {
+		w.barSignal.Wait(r.p)
+	}
+}
+
+// Bcast models a binomial-tree broadcast of size bytes from root. Every
+// rank blocks for the modeled completion cost; no payload is exchanged.
+func (r *Rank) Bcast(root int, size int64) {
+	rounds := ceilLog2(r.w.size)
+	r.p.Wait(des.Time(rounds) * r.w.opts.xferCost(size))
+	r.Barrier()
+}
+
+// Allreduce models a recursive-doubling allreduce over size bytes.
+func (r *Rank) Allreduce(size int64) {
+	rounds := ceilLog2(r.w.size)
+	r.p.Wait(des.Time(rounds) * r.w.opts.xferCost(size))
+	r.Barrier()
+}
+
+// Allgather models gathering size bytes from every rank to every rank
+// (ring algorithm: P-1 steps of size bytes).
+func (r *Rank) Allgather(size int64) {
+	steps := r.w.size - 1
+	if steps > 0 {
+		r.p.Wait(des.Time(steps) * r.w.opts.xferCost(size))
+	}
+	r.Barrier()
+}
+
+// Alltoall models a pairwise exchange of size bytes with every other rank.
+func (r *Rank) Alltoall(size int64) {
+	steps := r.w.size - 1
+	if steps > 0 {
+		r.p.Wait(des.Time(steps) * r.w.opts.xferCost(size))
+	}
+	r.Barrier()
+}
+
+// Reduce models a binomial-tree reduction to root.
+func (r *Rank) Reduce(root int, size int64) {
+	rounds := ceilLog2(r.w.size)
+	r.p.Wait(des.Time(rounds) * r.w.opts.xferCost(size))
+	r.Barrier()
+}
+
+func ceilLog2(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	l, v := 0, 1
+	for v < n {
+		v <<= 1
+		l++
+	}
+	return l
+}

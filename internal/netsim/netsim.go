@@ -1,0 +1,200 @@
+// Package netsim models cluster network fabrics for the I/O-path simulator.
+//
+// A Fabric is a set of nodes connected through per-node links (NIC injection
+// bandwidth) and an aggregate backplane. Message cost = per-hop latency +
+// serialization time on the sender link, the backplane, and the receiver
+// link, with contention modeled by FIFO queueing on each resource. Two
+// presets mirror Figure 1 of the paper: an InfiniBand-like compute fabric
+// and a slower Ethernet-like storage fabric.
+package netsim
+
+import (
+	"fmt"
+
+	"pioeval/internal/des"
+)
+
+// Bandwidth is bytes per second.
+type Bandwidth float64
+
+// Common bandwidth units.
+const (
+	KBps Bandwidth = 1e3
+	MBps Bandwidth = 1e6
+	GBps Bandwidth = 1e9
+)
+
+// transferTime returns the serialization delay for size bytes at bw.
+func transferTime(size int64, bw Bandwidth) des.Time {
+	if bw <= 0 {
+		return 0
+	}
+	return des.Time(float64(size) / float64(bw) * float64(des.Second))
+}
+
+// Config describes a fabric.
+type Config struct {
+	Name string
+	// Latency is the one-way propagation + switching latency per message.
+	Latency des.Time
+	// LinkBandwidth is each node's NIC injection/ejection bandwidth.
+	LinkBandwidth Bandwidth
+	// BackplaneBandwidth caps aggregate traffic; 0 means unconstrained.
+	BackplaneBandwidth Bandwidth
+	// BackplaneChannels is the parallelism of the backplane resource
+	// (number of concurrent full-rate transfers). Default 1 when a
+	// backplane bandwidth is set.
+	BackplaneChannels int
+	// MTU splits messages into packets for pipelining; 0 disables
+	// packetization (whole message serializes as one unit).
+	MTU int64
+}
+
+// InfiniBandLike returns a config resembling an EDR InfiniBand compute
+// fabric: ~1us latency, 12 GB/s links.
+func InfiniBandLike() Config {
+	return Config{
+		Name:               "ib",
+		Latency:            1 * des.Microsecond,
+		LinkBandwidth:      12 * GBps,
+		BackplaneBandwidth: 0,
+	}
+}
+
+// EthernetLike returns a config resembling a 10 GbE storage fabric:
+// ~20us latency, 1.25 GB/s links.
+func EthernetLike() Config {
+	return Config{
+		Name:               "eth",
+		Latency:            20 * des.Microsecond,
+		LinkBandwidth:      1.25 * GBps,
+		BackplaneBandwidth: 0,
+	}
+}
+
+// Fabric is an instantiated network. Create with NewFabric, then AddNode for
+// every endpoint.
+type Fabric struct {
+	eng       *des.Engine
+	cfg       Config
+	nodes     map[string]*endpoint
+	backplane *des.Resource
+
+	bytesMoved int64
+	messages   uint64
+}
+
+type endpoint struct {
+	name string
+	in   *des.Resource // ejection (receive) link
+	out  *des.Resource // injection (send) link
+}
+
+// NewFabric creates a fabric on engine e with config cfg.
+func NewFabric(e *des.Engine, cfg Config) *Fabric {
+	f := &Fabric{eng: e, cfg: cfg, nodes: make(map[string]*endpoint)}
+	if cfg.BackplaneBandwidth > 0 {
+		ch := cfg.BackplaneChannels
+		if ch < 1 {
+			ch = 1
+		}
+		f.backplane = des.NewResource(e, cfg.Name+".backplane", ch)
+	}
+	return f
+}
+
+// AddNode registers a new endpoint; it panics on duplicates.
+func (f *Fabric) AddNode(name string) {
+	if _, dup := f.nodes[name]; dup {
+		panic(fmt.Sprintf("netsim: duplicate node %q", name))
+	}
+	f.nodes[name] = &endpoint{
+		name: name,
+		in:   des.NewResource(f.eng, f.cfg.Name+"."+name+".in", 1),
+		out:  des.NewResource(f.eng, f.cfg.Name+"."+name+".out", 1),
+	}
+}
+
+// HasNode reports whether name is registered.
+func (f *Fabric) HasNode(name string) bool {
+	_, ok := f.nodes[name]
+	return ok
+}
+
+// Config returns the fabric configuration.
+func (f *Fabric) Config() Config { return f.cfg }
+
+// Transfer moves size bytes from src to dst in simulated time, blocking the
+// calling process for the full transfer duration (latency + serialization
+// with queueing on both links and the backplane).
+func (f *Fabric) Transfer(p *des.Proc, src, dst string, size int64) {
+	if size < 0 {
+		panic("netsim: negative transfer size")
+	}
+	s, ok := f.nodes[src]
+	if !ok {
+		panic(fmt.Sprintf("netsim: unknown src node %q", src))
+	}
+	d, ok := f.nodes[dst]
+	if !ok {
+		panic(fmt.Sprintf("netsim: unknown dst node %q", dst))
+	}
+	f.messages++
+	f.bytesMoved += size
+	if src == dst {
+		// Loopback: memcpy-speed, modeled as half latency.
+		p.Wait(f.cfg.Latency / 2)
+		return
+	}
+
+	// Packetized pipelining: the dominant cost is max of the three stages
+	// plus one latency; we approximate by serializing each chunk through
+	// sender link then receiver link, holding the backplane if present.
+	chunk := f.cfg.MTU
+	if chunk <= 0 || chunk > size {
+		chunk = size
+	}
+	p.Wait(f.cfg.Latency)
+	remaining := size
+	for remaining > 0 {
+		n := chunk
+		if n > remaining {
+			n = remaining
+		}
+		t := transferTime(n, f.cfg.LinkBandwidth)
+		s.out.Acquire(p)
+		if f.backplane != nil {
+			f.backplane.Acquire(p)
+			bt := transferTime(n, f.cfg.BackplaneBandwidth)
+			if bt > t {
+				t = bt
+			}
+		}
+		d.in.Acquire(p)
+		p.Wait(t)
+		d.in.Release()
+		if f.backplane != nil {
+			f.backplane.Release()
+		}
+		s.out.Release()
+		remaining -= n
+	}
+}
+
+// RTT returns the zero-payload round-trip time estimate (2x latency).
+func (f *Fabric) RTT() des.Time { return 2 * f.cfg.Latency }
+
+// BytesMoved reports total payload bytes transferred so far.
+func (f *Fabric) BytesMoved() int64 { return f.bytesMoved }
+
+// Messages reports total transfers so far.
+func (f *Fabric) Messages() uint64 { return f.messages }
+
+// LinkUtilization returns the send-link utilization of node name in [0,1].
+func (f *Fabric) LinkUtilization(name string) float64 {
+	ep, ok := f.nodes[name]
+	if !ok {
+		return 0
+	}
+	return ep.out.Utilization()
+}

@@ -1,0 +1,174 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pioeval/internal/des"
+)
+
+func twoNodeFabric(cfg Config, seed int64) (*des.Engine, *Fabric) {
+	e := des.NewEngine(seed)
+	f := NewFabric(e, cfg)
+	f.AddNode("a")
+	f.AddNode("b")
+	return e, f
+}
+
+func TestTransferTimeBasic(t *testing.T) {
+	cfg := Config{Name: "t", Latency: 10 * des.Microsecond, LinkBandwidth: 1 * GBps}
+	e, f := twoNodeFabric(cfg, 1)
+	var done des.Time
+	e.Spawn("x", func(p *des.Proc) {
+		f.Transfer(p, "a", "b", 1_000_000) // 1 MB at 1 GB/s = 1 ms
+		done = p.Now()
+	})
+	e.Run(des.MaxTime)
+	want := 10*des.Microsecond + 1*des.Millisecond
+	if done != want {
+		t.Fatalf("transfer completed at %v, want %v", done, want)
+	}
+	if f.BytesMoved() != 1_000_000 || f.Messages() != 1 {
+		t.Errorf("stats = %d bytes %d msgs", f.BytesMoved(), f.Messages())
+	}
+}
+
+func TestTransferContentionOnSenderLink(t *testing.T) {
+	cfg := Config{Name: "t", Latency: 0, LinkBandwidth: 1 * GBps}
+	e := des.NewEngine(1)
+	f := NewFabric(e, cfg)
+	f.AddNode("a")
+	f.AddNode("b")
+	f.AddNode("c")
+	var ends []des.Time
+	for _, dst := range []string{"b", "c"} {
+		dst := dst
+		e.Spawn("x", func(p *des.Proc) {
+			f.Transfer(p, "a", dst, 1_000_000)
+			ends = append(ends, p.Now())
+		})
+	}
+	e.Run(des.MaxTime)
+	// Both share a's injection link: second finishes at 2ms.
+	if ends[0] != 1*des.Millisecond || ends[1] != 2*des.Millisecond {
+		t.Fatalf("ends = %v, want [1ms 2ms]", ends)
+	}
+}
+
+func TestBackplaneCap(t *testing.T) {
+	cfg := Config{
+		Name: "t", Latency: 0,
+		LinkBandwidth:      10 * GBps,
+		BackplaneBandwidth: 1 * GBps,
+		BackplaneChannels:  1,
+	}
+	e := des.NewEngine(1)
+	f := NewFabric(e, cfg)
+	f.AddNode("a")
+	f.AddNode("b")
+	f.AddNode("c")
+	f.AddNode("d")
+	var ends []des.Time
+	pairs := [][2]string{{"a", "b"}, {"c", "d"}}
+	for _, pr := range pairs {
+		pr := pr
+		e.Spawn("x", func(p *des.Proc) {
+			f.Transfer(p, pr[0], pr[1], 1_000_000)
+			ends = append(ends, p.Now())
+		})
+	}
+	e.Run(des.MaxTime)
+	// Disjoint links but shared backplane at 1GB/s: serialized, 1ms each.
+	if ends[1] != 2*des.Millisecond {
+		t.Fatalf("second transfer ended at %v, want 2ms (backplane serialization)", ends[1])
+	}
+}
+
+func TestLoopback(t *testing.T) {
+	cfg := Config{Name: "t", Latency: 10 * des.Microsecond, LinkBandwidth: 1 * GBps}
+	e, f := twoNodeFabric(cfg, 1)
+	var done des.Time
+	e.Spawn("x", func(p *des.Proc) {
+		f.Transfer(p, "a", "a", 1<<30)
+		done = p.Now()
+	})
+	e.Run(des.MaxTime)
+	if done != 5*des.Microsecond {
+		t.Fatalf("loopback took %v, want half latency", done)
+	}
+}
+
+func TestMTUPipelineStillMovesAllBytes(t *testing.T) {
+	cfg := Config{Name: "t", Latency: 1 * des.Microsecond, LinkBandwidth: 1 * GBps, MTU: 64 << 10}
+	e, f := twoNodeFabric(cfg, 1)
+	var done des.Time
+	e.Spawn("x", func(p *des.Proc) {
+		f.Transfer(p, "a", "b", 1_000_000)
+		done = p.Now()
+	})
+	e.Run(des.MaxTime)
+	// Serialization dominates: ~1ms regardless of chunking.
+	lo, hi := 1*des.Millisecond, 1*des.Millisecond+100*des.Microsecond
+	if done < lo || done > hi {
+		t.Fatalf("chunked transfer took %v, want within [%v, %v]", done, lo, hi)
+	}
+}
+
+func TestPresets(t *testing.T) {
+	ib, eth := InfiniBandLike(), EthernetLike()
+	if ib.LinkBandwidth <= eth.LinkBandwidth {
+		t.Error("IB should be faster than Ethernet")
+	}
+	if ib.Latency >= eth.Latency {
+		t.Error("IB should have lower latency than Ethernet")
+	}
+}
+
+func TestUnknownNodePanics(t *testing.T) {
+	e, f := twoNodeFabric(Config{Name: "t", LinkBandwidth: GBps}, 1)
+	e.Spawn("x", func(p *des.Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("transfer to unknown node should panic")
+			}
+		}()
+		f.Transfer(p, "a", "nope", 10)
+	})
+	e.Run(des.MaxTime)
+}
+
+func TestDuplicateNodePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate AddNode should panic")
+		}
+	}()
+	e := des.NewEngine(1)
+	f := NewFabric(e, Config{Name: "t"})
+	f.AddNode("a")
+	f.AddNode("a")
+}
+
+// Property: transfer duration is monotonically non-decreasing in size.
+func TestPropTransferMonotonic(t *testing.T) {
+	f := func(s1, s2 uint32) bool {
+		a, b := int64(s1%(1<<24)), int64(s2%(1<<24))
+		if a > b {
+			a, b = b, a
+		}
+		dur := func(size int64) des.Time {
+			e, fb := twoNodeFabric(Config{Name: "t", Latency: des.Microsecond, LinkBandwidth: GBps}, 1)
+			var d des.Time
+			e.Spawn("x", func(p *des.Proc) {
+				fb.Transfer(p, "a", "b", size)
+				d = p.Now()
+			})
+			e.Run(des.MaxTime)
+			return d
+		}
+		return dur(a) <= dur(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

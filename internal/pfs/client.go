@@ -1,0 +1,511 @@
+package pfs
+
+import (
+	"fmt"
+
+	"pioeval/internal/des"
+)
+
+// metaReqSize / metaRespSize are the wire sizes of metadata RPCs.
+const (
+	metaReqSize  = 256
+	metaRespSize = 256
+	dataReqSize  = 512 // read request / write ack header
+)
+
+// OpEvent describes one completed client operation; installed observers
+// (tracers, profilers) receive every event.
+type OpEvent struct {
+	Client string
+	Op     string
+	Path   string
+	Offset int64
+	Size   int64
+	Start  des.Time
+	End    des.Time
+}
+
+// SetOpObserver installs fn to receive every client operation event.
+// Pass nil to disable. Only one observer is supported; compose externally.
+func (fs *FS) SetOpObserver(fn func(OpEvent)) { fs.observer = fn }
+
+func (fs *FS) observe(ev OpEvent) {
+	if fs.observer != nil {
+		fs.observer(ev)
+	}
+}
+
+// Client is a compute-node-resident file-system client. Each client is
+// bound to a compute-fabric node and routed through one I/O node.
+type Client struct {
+	fs     *FS
+	node   string
+	ionode string // empty in flat-network mode
+
+	// Write-behind buffer state (shared across the client's handles).
+	wbCapacity int64
+	wbDirty    int64
+
+	// Client-side counters (the "client-side hardware statistics" of
+	// §IV-A2): RPC counts and wire bytes as the compute node sees them.
+	stats ClientStats
+}
+
+// ClientStats captures the client-side view of I/O traffic.
+type ClientStats struct {
+	MetaRPCs  uint64
+	ReadRPCs  uint64
+	WriteRPCs uint64
+	BytesSent int64 // payload leaving the client NIC
+	BytesRecv int64 // payload arriving at the client NIC
+}
+
+// Stats returns a snapshot of the client's counters.
+func (c *Client) Stats() ClientStats { return c.stats }
+
+// NewClient registers a new client on compute node nodeName.
+func (fs *FS) NewClient(nodeName string) *Client {
+	fs.compute.AddNode(nodeName)
+	c := &Client{fs: fs, node: nodeName, wbCapacity: fs.cfg.ClientWriteBehind}
+	if len(fs.ionodes) > 0 {
+		c.ionode = fs.ionodes[fs.nextION%len(fs.ionodes)]
+		fs.nextION++
+	}
+	fs.clients++
+	return c
+}
+
+// Node returns the client's compute-fabric node name.
+func (c *Client) Node() string { return c.node }
+
+// IONode returns the I/O node this client routes through ("" in flat mode).
+func (c *Client) IONode() string { return c.ionode }
+
+// toServer moves size bytes from the client to a server node, crossing the
+// I/O-forwarding tier when present.
+func (c *Client) toServer(p *des.Proc, server string, size int64) {
+	if c.ionode != "" {
+		c.fs.compute.Transfer(p, c.node, c.ionode, size)
+		c.fs.storage.Transfer(p, c.ionode, server, size)
+	} else {
+		c.fs.compute.Transfer(p, c.node, server, size)
+	}
+}
+
+// fromServer moves size bytes from a server node back to the client.
+func (c *Client) fromServer(p *des.Proc, server string, size int64) {
+	if c.ionode != "" {
+		c.fs.storage.Transfer(p, server, c.ionode, size)
+		c.fs.compute.Transfer(p, c.ionode, c.node, size)
+	} else {
+		c.fs.compute.Transfer(p, server, c.node, size)
+	}
+}
+
+// metaRPC performs one metadata operation round trip.
+func (c *Client) metaRPC(p *des.Proc, op MetaOp, fn func() error) error {
+	c.stats.MetaRPCs++
+	c.stats.BytesSent += metaReqSize
+	c.stats.BytesRecv += metaRespSize
+	c.toServer(p, c.fs.mds.node, metaReqSize)
+	err := c.fs.mdsExec(p, op, fn)
+	c.fromServer(p, c.fs.mds.node, metaRespSize)
+	return err
+}
+
+// Mkdir creates a directory.
+func (c *Client) Mkdir(p *des.Proc, path string) error {
+	path, perr := cleanPath(path)
+	if perr != nil {
+		return perr
+	}
+	start := p.Now()
+	err := c.metaRPC(p, OpMkdir, func() error {
+		ino := c.fs.mds.inodes
+		if _, dup := ino[path]; dup {
+			return ErrExist
+		}
+		par, ok := ino[parentOf(path)]
+		if !ok {
+			return ErrNotExist
+		}
+		if !par.isDir {
+			return ErrNotDir
+		}
+		ino[path] = &inode{path: path, isDir: true, children: map[string]bool{}, ctime: p.Now(), mtime: p.Now()}
+		par.children[path] = true
+		return nil
+	})
+	c.fs.observe(OpEvent{Client: c.node, Op: "mkdir", Path: path, Start: start, End: p.Now()})
+	return err
+}
+
+// Rmdir removes an empty directory.
+func (c *Client) Rmdir(p *des.Proc, path string) error {
+	path, perr := cleanPath(path)
+	if perr != nil {
+		return perr
+	}
+	start := p.Now()
+	err := c.metaRPC(p, OpRmdir, func() error {
+		ino := c.fs.mds.inodes
+		n, ok := ino[path]
+		if !ok {
+			return ErrNotExist
+		}
+		if !n.isDir {
+			return ErrNotDir
+		}
+		if len(n.children) > 0 {
+			return ErrNotEmpty
+		}
+		if path == "/" {
+			return ErrNotEmpty
+		}
+		delete(ino, path)
+		delete(ino[parentOf(path)].children, path)
+		return nil
+	})
+	c.fs.observe(OpEvent{Client: c.node, Op: "rmdir", Path: path, Start: start, End: p.Now()})
+	return err
+}
+
+// Stat returns file metadata.
+func (c *Client) Stat(p *des.Proc, path string) (FileInfo, error) {
+	path, perr := cleanPath(path)
+	if perr != nil {
+		return FileInfo{}, perr
+	}
+	start := p.Now()
+	var fi FileInfo
+	err := c.metaRPC(p, OpStat, func() error {
+		n, ok := c.fs.mds.inodes[path]
+		if !ok {
+			return ErrNotExist
+		}
+		fi = FileInfo{Path: n.path, IsDir: n.isDir, Size: n.size, Layout: n.layout, CTime: n.ctime, MTime: n.mtime}
+		return nil
+	})
+	c.fs.observe(OpEvent{Client: c.node, Op: "stat", Path: path, Start: start, End: p.Now()})
+	return fi, err
+}
+
+// Readdir lists the names in a directory.
+func (c *Client) Readdir(p *des.Proc, path string) ([]string, error) {
+	path, perr := cleanPath(path)
+	if perr != nil {
+		return nil, perr
+	}
+	start := p.Now()
+	var names []string
+	err := c.metaRPC(p, OpReaddir, func() error {
+		n, ok := c.fs.mds.inodes[path]
+		if !ok {
+			return ErrNotExist
+		}
+		if !n.isDir {
+			return ErrNotDir
+		}
+		for child := range n.children {
+			names = append(names, child)
+		}
+		return nil
+	})
+	if err == nil && len(names) > 0 {
+		// Pay for the directory payload: ~64 bytes per entry.
+		c.fromServer(p, c.fs.mds.node, int64(len(names))*64)
+	}
+	c.fs.observe(OpEvent{Client: c.node, Op: "readdir", Path: path, Size: int64(len(names)), Start: start, End: p.Now()})
+	return names, err
+}
+
+// Unlink removes a file.
+func (c *Client) Unlink(p *des.Proc, path string) error {
+	path, perr := cleanPath(path)
+	if perr != nil {
+		return perr
+	}
+	start := p.Now()
+	err := c.metaRPC(p, OpUnlink, func() error {
+		ino := c.fs.mds.inodes
+		n, ok := ino[path]
+		if !ok {
+			return ErrNotExist
+		}
+		if n.isDir {
+			return ErrIsDir
+		}
+		delete(ino, path)
+		delete(ino[parentOf(path)].children, path)
+		return nil
+	})
+	c.fs.observe(OpEvent{Client: c.node, Op: "unlink", Path: path, Start: start, End: p.Now()})
+	return err
+}
+
+// Handle is an open file.
+type Handle struct {
+	c      *Client
+	path   string
+	layout Layout
+	closed bool
+
+	// write-behind dirty extents, coalesced on append
+	dirty []extent
+
+	// readahead window already fetched from the servers
+	raStart, raEnd int64
+	raValid        bool
+}
+
+type extent struct{ off, size int64 }
+
+// Create makes a new file with the given striping (0 values select the
+// file-system defaults) and returns an open handle.
+func (c *Client) Create(p *des.Proc, path string, stripeCount int, stripeSize int64) (*Handle, error) {
+	path, perr := cleanPath(path)
+	if perr != nil {
+		return nil, perr
+	}
+	start := p.Now()
+	var layout Layout
+	err := c.metaRPC(p, OpCreate, func() error {
+		ino := c.fs.mds.inodes
+		if _, dup := ino[path]; dup {
+			return ErrExist
+		}
+		par, ok := ino[parentOf(path)]
+		if !ok {
+			return ErrNotExist
+		}
+		if !par.isDir {
+			return ErrNotDir
+		}
+		layout = c.fs.allocateLayout(stripeCount, stripeSize)
+		ino[path] = &inode{path: path, layout: layout, ctime: p.Now(), mtime: p.Now()}
+		par.children[path] = true
+		return nil
+	})
+	c.fs.observe(OpEvent{Client: c.node, Op: "create", Path: path, Start: start, End: p.Now()})
+	if err != nil {
+		return nil, err
+	}
+	return &Handle{c: c, path: path, layout: layout}, nil
+}
+
+// Open opens an existing file.
+func (c *Client) Open(p *des.Proc, path string) (*Handle, error) {
+	path, perr := cleanPath(path)
+	if perr != nil {
+		return nil, perr
+	}
+	start := p.Now()
+	var layout Layout
+	err := c.metaRPC(p, OpOpen, func() error {
+		n, ok := c.fs.mds.inodes[path]
+		if !ok {
+			return ErrNotExist
+		}
+		if n.isDir {
+			return ErrIsDir
+		}
+		layout = n.layout
+		return nil
+	})
+	c.fs.observe(OpEvent{Client: c.node, Op: "open", Path: path, Start: start, End: p.Now()})
+	if err != nil {
+		return nil, err
+	}
+	return &Handle{c: c, path: path, layout: layout}, nil
+}
+
+// Path returns the file path.
+func (h *Handle) Path() string { return h.path }
+
+// Layout returns the file's stripe layout.
+func (h *Handle) Layout() Layout { return h.layout }
+
+// chunk is one OST-directed piece of a striped request.
+type chunk struct {
+	ostIdx  int   // index into layout.OSTs
+	objOff  int64 // offset within the object
+	size    int64
+	fileOff int64
+}
+
+// stripeChunks splits a byte range [off, off+size) over the layout.
+func stripeChunks(l Layout, off, size int64) []chunk {
+	var out []chunk
+	for size > 0 {
+		stripe := off / l.StripeSize
+		within := off % l.StripeSize
+		n := l.StripeSize - within
+		if n > size {
+			n = size
+		}
+		ostIdx := int(stripe % int64(l.StripeCount))
+		objOff := (stripe/int64(l.StripeCount))*l.StripeSize + within
+		out = append(out, chunk{ostIdx: ostIdx, objOff: objOff, size: n, fileOff: off})
+		off += n
+		size -= n
+	}
+	return out
+}
+
+// doIO executes the chunks of one request in parallel across OSTs,
+// splitting chunks larger than MaxRPCSize, and blocks until all complete.
+func (h *Handle) doIO(p *des.Proc, chunks []chunk, write bool) {
+	fs := h.c.fs
+	wg := des.NewWaitGroup(p.Engine())
+	for _, ch := range chunks {
+		for ch.size > 0 {
+			n := ch.size
+			if n > fs.cfg.MaxRPCSize {
+				n = fs.cfg.MaxRPCSize
+			}
+			rpc := ch
+			rpc.size = n
+			wg.Add(1)
+			p.Engine().Spawn("rpc", func(q *des.Proc) {
+				defer wg.Done()
+				o := fs.osts[h.layout.OSTs[rpc.ostIdx]]
+				obj := fmt.Sprintf("%s#%d", h.path, rpc.ostIdx)
+				if write {
+					h.c.stats.WriteRPCs++
+					h.c.stats.BytesSent += rpc.size
+					h.c.stats.BytesRecv += dataReqSize
+					h.c.toServer(q, o.ossNode, rpc.size)
+					o.access(q, obj, rpc.objOff, rpc.size, true)
+					h.c.fromServer(q, o.ossNode, dataReqSize) // ack
+				} else {
+					h.c.stats.ReadRPCs++
+					h.c.stats.BytesSent += dataReqSize
+					h.c.stats.BytesRecv += rpc.size
+					h.c.toServer(q, o.ossNode, dataReqSize) // request
+					o.access(q, obj, rpc.objOff, rpc.size, false)
+					h.c.fromServer(q, o.ossNode, rpc.size)
+				}
+			})
+			ch.objOff += n
+			ch.size -= n
+		}
+	}
+	wg.Wait(p)
+}
+
+// updateSize grows the file size at the MDS (a size RPC, as Lustre clients
+// batch; modeled as one metadata op).
+func (h *Handle) updateSize(p *des.Proc, end int64) {
+	_ = h.c.metaRPC(p, OpSetSize, func() error {
+		n, ok := h.c.fs.mds.inodes[h.path]
+		if !ok {
+			return ErrNotExist
+		}
+		if end > n.size {
+			n.size = end
+		}
+		n.mtime = p.Now()
+		return nil
+	})
+}
+
+// Write writes size bytes at offset off, blocking in simulated time. With
+// write-behind enabled, data may be buffered and flushed later.
+func (h *Handle) Write(p *des.Proc, off, size int64) {
+	if h.closed {
+		panic("pfs: write on closed handle")
+	}
+	if size <= 0 {
+		return
+	}
+	start := p.Now()
+	h.raValid = false // writes invalidate the readahead window
+	if h.c.wbCapacity > 0 {
+		h.appendDirty(off, size)
+		h.c.wbDirty += size
+		if h.c.wbDirty >= h.c.wbCapacity {
+			h.flush(p)
+		}
+	} else {
+		h.doIO(p, stripeChunks(h.layout, off, size), true)
+		h.updateSize(p, off+size)
+	}
+	h.c.fs.observe(OpEvent{Client: h.c.node, Op: "write", Path: h.path, Offset: off, Size: size, Start: start, End: p.Now()})
+}
+
+// appendDirty records a dirty extent, coalescing with the previous one when
+// contiguous.
+func (h *Handle) appendDirty(off, size int64) {
+	if n := len(h.dirty); n > 0 {
+		last := &h.dirty[n-1]
+		if last.off+last.size == off {
+			last.size += size
+			return
+		}
+	}
+	h.dirty = append(h.dirty, extent{off, size})
+}
+
+// flush writes out all dirty extents.
+func (h *Handle) flush(p *des.Proc) {
+	if len(h.dirty) == 0 {
+		return
+	}
+	var chunks []chunk
+	var maxEnd int64
+	var total int64
+	for _, ex := range h.dirty {
+		chunks = append(chunks, stripeChunks(h.layout, ex.off, ex.size)...)
+		if end := ex.off + ex.size; end > maxEnd {
+			maxEnd = end
+		}
+		total += ex.size
+	}
+	h.dirty = nil
+	h.c.wbDirty -= total
+	h.doIO(p, chunks, true)
+	h.updateSize(p, maxEnd)
+}
+
+// Read reads size bytes at offset off, blocking in simulated time. With
+// readahead enabled, misses fetch an extended window and later reads
+// within the window are served from client memory.
+func (h *Handle) Read(p *des.Proc, off, size int64) {
+	if h.closed {
+		panic("pfs: read on closed handle")
+	}
+	if size <= 0 {
+		return
+	}
+	start := p.Now()
+	ra := h.c.fs.cfg.ClientReadahead
+	switch {
+	case ra > 0 && h.raValid && off >= h.raStart && off+size <= h.raEnd:
+		// Cache hit: served from client memory at zero simulated cost.
+	case ra > 0:
+		fetch := size + ra
+		h.doIO(p, stripeChunks(h.layout, off, fetch), false)
+		h.raStart, h.raEnd, h.raValid = off, off+fetch, true
+	default:
+		h.doIO(p, stripeChunks(h.layout, off, size), false)
+	}
+	h.c.fs.observe(OpEvent{Client: h.c.node, Op: "read", Path: h.path, Offset: off, Size: size, Start: start, End: p.Now()})
+}
+
+// Fsync flushes buffered writes.
+func (h *Handle) Fsync(p *des.Proc) {
+	start := p.Now()
+	h.flush(p)
+	h.c.fs.observe(OpEvent{Client: h.c.node, Op: "fsync", Path: h.path, Start: start, End: p.Now()})
+}
+
+// Close flushes and closes the handle.
+func (h *Handle) Close(p *des.Proc) {
+	if h.closed {
+		return
+	}
+	start := p.Now()
+	h.flush(p)
+	h.closed = true
+	h.c.fs.observe(OpEvent{Client: h.c.node, Op: "close", Path: h.path, Start: start, End: p.Now()})
+}

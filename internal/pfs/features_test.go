@@ -1,0 +1,197 @@
+package pfs
+
+import (
+	"testing"
+
+	"pioeval/internal/des"
+)
+
+func TestReadaheadSpeedsUpInterleavedSequentialStreams(t *testing.T) {
+	// The realistic readahead win: two clients stream different files on
+	// the same HDD OST. Small interleaved reads seek on every access;
+	// readahead turns them into few large requests.
+	total := int64(8 << 20)
+	blk := int64(64 << 10)
+	run := func(ra int64) des.Time {
+		cfg := DefaultConfig() // HDD
+		cfg.NumIONodes = 0
+		cfg.NumOSS = 1
+		cfg.OSTsPerOSS = 1
+		cfg.ClientReadahead = ra
+		e := des.NewEngine(42)
+		fs := New(e, cfg)
+		for i := 0; i < 2; i++ {
+			i := i
+			c := fs.NewClient(clientName(i))
+			e.Spawn("rd", func(p *des.Proc) {
+				path := "/f" + string(rune('0'+i))
+				h, _ := c.Create(p, path, 1, 1<<20)
+				h.Write(p, 0, total)
+				for off := int64(0); off < total; off += blk {
+					h.Read(p, off, blk)
+				}
+				h.Close(p)
+			})
+		}
+		end := e.Run(des.MaxTime)
+		if e.LiveProcs() != 0 {
+			t.Fatal("deadlock")
+		}
+		return end
+	}
+	plain, ahead := run(0), run(4<<20)
+	if ahead >= plain {
+		t.Fatalf("readahead (%v) should beat plain (%v) on interleaved streams", ahead, plain)
+	}
+	if speedup := float64(plain) / float64(ahead); speedup < 2 {
+		t.Errorf("readahead speedup = %.1fx, want >= 2x", speedup)
+	}
+}
+
+func TestReadaheadHurtsRandomReads(t *testing.T) {
+	total := int64(16 << 20)
+	blk := int64(64 << 10)
+	run := func(ra int64) des.Time {
+		cfg := DefaultConfig()
+		cfg.NumIONodes = 0
+		cfg.ClientReadahead = ra
+		var d des.Time
+		runClient(t, cfg, func(p *des.Proc, c *Client) {
+			h, _ := c.Create(p, "/f", 1, 1<<20)
+			h.Write(p, 0, total)
+			rng := p.Engine().RNG().Stream("rnd")
+			s := p.Now()
+			for i := 0; i < 64; i++ {
+				h.Read(p, rng.Int63n(total-blk), blk)
+			}
+			d = p.Now() - s
+			h.Close(p)
+		})
+		return d
+	}
+	if plain, ahead := run(0), run(4<<20); ahead <= plain {
+		t.Errorf("readahead should amplify random reads: plain %v, ahead %v", plain, ahead)
+	}
+}
+
+func TestWriteInvalidatesReadahead(t *testing.T) {
+	cfg := fastConfig()
+	cfg.ClientReadahead = 8 << 20
+	var hitTime, missTime des.Time
+	runClient(t, cfg, func(p *des.Proc, c *Client) {
+		h, _ := c.Create(p, "/f", 1, 1<<20)
+		h.Write(p, 0, 4<<20)
+		h.Read(p, 0, 64<<10) // fetches window
+		s := p.Now()
+		h.Read(p, 64<<10, 64<<10) // hit: free
+		hitTime = p.Now() - s
+		h.Write(p, 0, 4096) // invalidates
+		s = p.Now()
+		h.Read(p, 128<<10, 64<<10) // miss again
+		missTime = p.Now() - s
+		h.Close(p)
+	})
+	if hitTime != 0 {
+		t.Errorf("cache hit cost %v, want 0", hitTime)
+	}
+	if missTime == 0 {
+		t.Error("post-write read should miss")
+	}
+}
+
+func TestStragglerOSTDominatesStripedWrite(t *testing.T) {
+	duration := func(straggler bool) des.Time {
+		cfg := fastConfig()
+		e := des.NewEngine(13)
+		fs := New(e, cfg)
+		if straggler {
+			fs.InjectOSTSlowdown(0, 10)
+		}
+		c := fs.NewClient("c0")
+		var d des.Time
+		e.Spawn("w", func(p *des.Proc) {
+			h, _ := c.Create(p, "/f", 8, 1<<20)
+			s := p.Now()
+			h.Write(p, 0, 32<<20)
+			d = p.Now() - s
+			h.Close(p)
+		})
+		e.Run(des.MaxTime)
+		return d
+	}
+	healthy, degraded := duration(false), duration(true)
+	if degraded <= healthy {
+		t.Fatalf("straggler write (%v) should be slower than healthy (%v)", degraded, healthy)
+	}
+	// One slow OST out of 8 gates the whole striped write (tail latency).
+	if ratio := float64(degraded) / float64(healthy); ratio < 3 {
+		t.Errorf("straggler impact = %.1fx, want >= 3x (stripe-wide stall)", ratio)
+	}
+}
+
+func TestStragglerVisibleInServerStats(t *testing.T) {
+	cfg := fastConfig()
+	e := des.NewEngine(13)
+	fs := New(e, cfg)
+	fs.InjectOSTSlowdown(2, 20)
+	c := fs.NewClient("c0")
+	e.Spawn("w", func(p *des.Proc) {
+		h, _ := c.Create(p, "/f", 8, 1<<20)
+		h.Write(p, 0, 32<<20)
+		h.Close(p)
+	})
+	e.Run(des.MaxTime)
+	stats := fs.OSTStats()
+	// The degraded OST shows the highest utilization (it is busy longest).
+	best, bestU := -1, 0.0
+	for _, st := range stats {
+		if st.Utilization > bestU {
+			best, bestU = st.ID, st.Utilization
+		}
+	}
+	if best != 2 {
+		t.Errorf("most-utilized OST = %d, want the degraded one (2)", best)
+	}
+	// Restoring speed works.
+	fs.InjectOSTSlowdown(2, 1)
+}
+
+func TestInjectSlowdownValidation(t *testing.T) {
+	e := des.NewEngine(1)
+	fs := New(e, fastConfig())
+	defer func() {
+		if recover() == nil {
+			t.Error("bad OST id should panic")
+		}
+	}()
+	fs.InjectOSTSlowdown(99, 2)
+}
+
+func TestClientStatsCounters(t *testing.T) {
+	cfg := fastConfig()
+	e := des.NewEngine(14)
+	fs := New(e, cfg)
+	c := fs.NewClient("c0")
+	e.Spawn("w", func(p *des.Proc) {
+		h, _ := c.Create(p, "/f", 1, 1<<20)
+		h.Write(p, 0, 2<<20)
+		h.Read(p, 0, 1<<20)
+		h.Close(p)
+		_, _ = c.Stat(p, "/f")
+	})
+	e.Run(des.MaxTime)
+	st := c.Stats()
+	if st.WriteRPCs == 0 || st.ReadRPCs == 0 {
+		t.Fatalf("rpc counts = %+v", st)
+	}
+	// Create + setsize(s) + stat + close-path metadata.
+	if st.MetaRPCs < 3 {
+		t.Errorf("meta rpcs = %d", st.MetaRPCs)
+	}
+	if st.BytesSent < 2<<20 {
+		t.Errorf("bytes sent = %d, want >= write payload", st.BytesSent)
+	}
+	if st.BytesRecv < 1<<20 {
+		t.Errorf("bytes recv = %d, want >= read payload", st.BytesRecv)
+	}
+}

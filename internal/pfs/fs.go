@@ -1,0 +1,317 @@
+package pfs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"pioeval/internal/blockdev"
+	"pioeval/internal/des"
+	"pioeval/internal/netsim"
+)
+
+// Namespace errors.
+var (
+	ErrNotExist = errors.New("pfs: no such file or directory")
+	ErrExist    = errors.New("pfs: file exists")
+	ErrIsDir    = errors.New("pfs: is a directory")
+	ErrNotDir   = errors.New("pfs: not a directory")
+	ErrNotEmpty = errors.New("pfs: directory not empty")
+)
+
+// MetaOp enumerates metadata operation kinds for MDS accounting.
+type MetaOp int
+
+// Metadata operation kinds.
+const (
+	OpLookup MetaOp = iota
+	OpCreate
+	OpOpen
+	OpStat
+	OpUnlink
+	OpMkdir
+	OpRmdir
+	OpReaddir
+	OpSetSize
+	numMetaOps
+)
+
+var metaOpNames = [...]string{"lookup", "create", "open", "stat", "unlink", "mkdir", "rmdir", "readdir", "setsize"}
+
+// String returns the operation name.
+func (op MetaOp) String() string {
+	if op >= 0 && int(op) < len(metaOpNames) {
+		return metaOpNames[op]
+	}
+	return fmt.Sprintf("metaop(%d)", int(op))
+}
+
+// Layout is a file's striping configuration.
+type Layout struct {
+	StripeSize  int64
+	StripeCount int
+	OSTs        []int // OST indices, len == StripeCount
+}
+
+// inode is a namespace entry.
+type inode struct {
+	path     string
+	isDir    bool
+	size     int64
+	layout   Layout
+	children map[string]bool // for directories
+	ctime    des.Time
+	mtime    des.Time
+}
+
+// FileInfo is the result of Stat.
+type FileInfo struct {
+	Path   string
+	IsDir  bool
+	Size   int64
+	Layout Layout
+	CTime  des.Time
+	MTime  des.Time
+}
+
+// mds is the metadata server: a namespace behind a thread-pool resource.
+type mds struct {
+	node    string
+	threads *des.Resource
+	opCost  des.Time
+	inodes  map[string]*inode
+	ops     [numMetaOps]uint64
+	busy    des.Time
+}
+
+// FS is a simulated parallel file system instance.
+type FS struct {
+	eng     *des.Engine
+	cfg     Config
+	compute *netsim.Fabric
+	storage *netsim.Fabric // nil when NumIONodes == 0 (flat network)
+	mds     *mds
+	osts    []*ost
+	ionodes []string
+	nextION int
+	nextOST int // round-robin base for layout allocation
+	clients int
+
+	observer func(OpEvent)
+}
+
+// New builds a file system on engine e from cfg. The root directory "/"
+// exists; everything else must be created through a Client.
+func New(e *des.Engine, cfg Config) *FS {
+	cfg = cfg.withDefaults()
+	fs := &FS{eng: e, cfg: cfg}
+
+	fs.compute = netsim.NewFabric(e, cfg.ComputeFabric)
+	if cfg.NumIONodes > 0 {
+		fs.storage = netsim.NewFabric(e, cfg.StorageFabric)
+		for i := 0; i < cfg.NumIONodes; i++ {
+			name := fmt.Sprintf("ionode%d", i)
+			fs.compute.AddNode(name)
+			fs.storage.AddNode(name)
+			fs.ionodes = append(fs.ionodes, name)
+		}
+	}
+
+	serverFabric := fs.serverFabric()
+	serverFabric.AddNode("mds")
+	fs.mds = &mds{
+		node:    "mds",
+		threads: des.NewResource(e, "mds.threads", cfg.MDSThreads),
+		opCost:  cfg.MDSOpCost,
+		inodes:  map[string]*inode{"/": {path: "/", isDir: true, children: map[string]bool{}}},
+	}
+
+	id := 0
+	for oss := 0; oss < cfg.NumOSS; oss++ {
+		node := fmt.Sprintf("oss%d", oss)
+		serverFabric.AddNode(node)
+		for t := 0; t < cfg.OSTsPerOSS; t++ {
+			dev := blockdev.NewDevice(e, fmt.Sprintf("ost%d", id), cfg.OSTDevice(), cfg.OSTQueueDepth)
+			fs.osts = append(fs.osts, newOST(id, node, dev))
+			id++
+		}
+	}
+	return fs
+}
+
+// serverFabric returns the fabric on which servers live: the storage fabric
+// when an I/O-node tier exists, otherwise the compute fabric.
+func (fs *FS) serverFabric() *netsim.Fabric {
+	if fs.storage != nil {
+		return fs.storage
+	}
+	return fs.compute
+}
+
+// Engine returns the simulation engine.
+func (fs *FS) Engine() *des.Engine { return fs.eng }
+
+// Config returns the (defaulted) configuration.
+func (fs *FS) Config() Config { return fs.cfg }
+
+// NumOSTs returns the number of object storage targets.
+func (fs *FS) NumOSTs() int { return len(fs.osts) }
+
+// cleanPath normalizes a path to slash-separated absolute form.
+func cleanPath(path string) (string, error) {
+	if path == "" || path[0] != '/' {
+		return "", fmt.Errorf("pfs: path %q must be absolute", path)
+	}
+	parts := strings.Split(path, "/")
+	out := make([]string, 0, len(parts))
+	for _, s := range parts {
+		switch s {
+		case "", ".":
+		case "..":
+			if len(out) > 0 {
+				out = out[:len(out)-1]
+			}
+		default:
+			out = append(out, s)
+		}
+	}
+	return "/" + strings.Join(out, "/"), nil
+}
+
+func parentOf(path string) string {
+	i := strings.LastIndexByte(path, '/')
+	if i <= 0 {
+		return "/"
+	}
+	return path[:i]
+}
+
+// mdsExec runs one metadata operation at the MDS in simulated time: the
+// caller has already paid the network cost; this pays queueing + CPU and
+// then applies fn to the namespace.
+func (fs *FS) mdsExec(p *des.Proc, op MetaOp, fn func() error) error {
+	m := fs.mds
+	m.threads.Acquire(p)
+	p.Wait(m.opCost)
+	m.threads.Release()
+	m.ops[op]++
+	m.busy += m.opCost
+	return fn()
+}
+
+// LayoutPolicy selects the OST allocation strategy for new files.
+type LayoutPolicy int
+
+// Layout policies.
+const (
+	// RoundRobin cycles through OSTs in index order (Lustre default).
+	RoundRobin LayoutPolicy = iota
+	// LeastLoaded picks the OSTs with the fewest bytes written so far —
+	// a contention-aware allocator in the spirit of iez (Wadhwa et al.).
+	LeastLoaded
+)
+
+// String returns the policy name.
+func (p LayoutPolicy) String() string {
+	if p == LeastLoaded {
+		return "least-loaded"
+	}
+	return "round-robin"
+}
+
+// allocateLayout picks OSTs for a new file per the configured policy.
+func (fs *FS) allocateLayout(stripeCount int, stripeSize int64) Layout {
+	if stripeCount <= 0 {
+		stripeCount = fs.cfg.DefaultStripeCount
+	}
+	if stripeCount > len(fs.osts) {
+		stripeCount = len(fs.osts)
+	}
+	if stripeSize <= 0 {
+		stripeSize = fs.cfg.DefaultStripeSize
+	}
+	l := Layout{StripeSize: stripeSize, StripeCount: stripeCount}
+	switch fs.cfg.Layout {
+	case LeastLoaded:
+		idx := make([]int, len(fs.osts))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(a, b int) bool {
+			la := fs.osts[idx[a]].dev.Stats().BytesWritten
+			lb := fs.osts[idx[b]].dev.Stats().BytesWritten
+			if la != lb {
+				return la < lb
+			}
+			return idx[a] < idx[b]
+		})
+		l.OSTs = append(l.OSTs, idx[:stripeCount]...)
+	default:
+		for i := 0; i < stripeCount; i++ {
+			l.OSTs = append(l.OSTs, (fs.nextOST+i)%len(fs.osts))
+		}
+		fs.nextOST = (fs.nextOST + stripeCount) % len(fs.osts)
+	}
+	return l
+}
+
+// MDSStats is a snapshot of metadata-server counters.
+type MDSStats struct {
+	Ops      map[string]uint64
+	TotalOps uint64
+	BusyTime des.Time
+	QueueLen int
+}
+
+// MDSStats returns a snapshot of MDS counters.
+func (fs *FS) MDSStats() MDSStats {
+	s := MDSStats{Ops: make(map[string]uint64), QueueLen: fs.mds.threads.QueueLen(), BusyTime: fs.mds.busy}
+	for op := MetaOp(0); op < numMetaOps; op++ {
+		n := fs.mds.ops[op]
+		if n > 0 {
+			s.Ops[op.String()] = n
+		}
+		s.TotalOps += n
+	}
+	return s
+}
+
+// OSTStats returns per-OST snapshots, ordered by OST index.
+func (fs *FS) OSTStats() []OSTStats {
+	out := make([]OSTStats, len(fs.osts))
+	for i, o := range fs.osts {
+		out[i] = o.stats()
+	}
+	return out
+}
+
+// InjectOSTSlowdown degrades OST id by the given factor (failure /
+// straggler injection, >= 1; 1 restores nominal speed). It panics on an
+// unknown OST id.
+func (fs *FS) InjectOSTSlowdown(id int, factor float64) {
+	if id < 0 || id >= len(fs.osts) {
+		panic(fmt.Sprintf("pfs: no OST %d", id))
+	}
+	fs.osts[id].dev.SetSlowdown(factor)
+}
+
+// TotalBytes sums read and written bytes over all OSTs.
+func (fs *FS) TotalBytes() (read, written int64) {
+	for _, o := range fs.osts {
+		st := o.dev.Stats()
+		read += st.BytesRead
+		written += st.BytesWritten
+	}
+	return read, written
+}
+
+// Paths returns all namespace paths in sorted order (for tests and tools).
+func (fs *FS) Paths() []string {
+	out := make([]string, 0, len(fs.mds.inodes))
+	for p := range fs.mds.inodes {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}

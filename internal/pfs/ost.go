@@ -1,0 +1,78 @@
+package pfs
+
+import (
+	"pioeval/internal/blockdev"
+	"pioeval/internal/des"
+)
+
+// ost is one object storage target: a block device plus an object
+// allocation map that lays objects out contiguously so that sequential
+// logical access stays sequential on the media (important for the HDD
+// model's seek behaviour).
+type ost struct {
+	id      int
+	ossNode string
+	dev     *blockdev.Device
+
+	objBase  map[string]int64 // object key -> physical base offset
+	allocPtr int64
+
+	readOps, writeOps uint64
+}
+
+func newOST(id int, ossNode string, dev *blockdev.Device) *ost {
+	return &ost{id: id, ossNode: ossNode, dev: dev, objBase: make(map[string]int64)}
+}
+
+// physOffset maps (object, logical offset) to a stable physical offset,
+// allocating a generous contiguous region per object on first touch.
+func (o *ost) physOffset(obj string, logical, size int64) int64 {
+	base, ok := o.objBase[obj]
+	if !ok {
+		base = o.allocPtr
+		o.objBase[obj] = base
+		// Reserve 1 GiB of address space per object; the device model
+		// only cares about contiguity, not capacity.
+		o.allocPtr += 1 << 30
+	}
+	return base + logical
+}
+
+// access performs one object I/O on the backing device in simulated time.
+func (o *ost) access(p *des.Proc, obj string, logical, size int64, write bool) {
+	phys := o.physOffset(obj, logical, size)
+	o.dev.Access(p, blockdev.Request{Offset: phys, Size: size, Write: write})
+	if write {
+		o.writeOps++
+	} else {
+		o.readOps++
+	}
+}
+
+// OSTStats is a snapshot of one OST's counters.
+type OSTStats struct {
+	ID           int
+	OSSNode      string
+	ReadOps      uint64
+	WriteOps     uint64
+	BytesRead    int64
+	BytesWritten int64
+	Utilization  float64
+	QueueLen     int
+	PeakQueue    int
+}
+
+func (o *ost) stats() OSTStats {
+	st := o.dev.Stats()
+	return OSTStats{
+		ID:           o.id,
+		OSSNode:      o.ossNode,
+		ReadOps:      o.readOps,
+		WriteOps:     o.writeOps,
+		BytesRead:    st.BytesRead,
+		BytesWritten: st.BytesWritten,
+		Utilization:  o.dev.Utilization(),
+		QueueLen:     st.QueueLen,
+		PeakQueue:    st.PeakQueue,
+	}
+}

@@ -1,0 +1,258 @@
+// Package posixio exposes a POSIX-like file API (descriptors, open flags,
+// positional and streaming reads/writes) on top of the simulated parallel
+// file system. It is the "POSIX I/O" layer of the paper's Figure 2: MPI-IO
+// sits above it, the PFS client below it, and tracers interpose here to
+// capture POSIX-level records.
+package posixio
+
+import (
+	"errors"
+	"fmt"
+
+	"pioeval/internal/des"
+	"pioeval/internal/pfs"
+	"pioeval/internal/trace"
+)
+
+// Open flags (subset of POSIX).
+const (
+	ORdonly = 0
+	OWronly = 1 << iota
+	ORdwr
+	OCreate
+	OExcl
+	OAppend
+)
+
+// ErrBadFD is returned for operations on unknown descriptors.
+var ErrBadFD = errors.New("posixio: bad file descriptor")
+
+// Env is one simulated process's POSIX environment: a descriptor table
+// bound to a PFS client. Create one Env per rank.
+type Env struct {
+	client *pfs.Client
+	rank   int
+	col    *trace.Collector
+
+	// StripeCount and StripeSize apply to files created through this Env
+	// (0 selects file-system defaults).
+	StripeCount int
+	StripeSize  int64
+
+	fds    map[int]*fdState
+	nextFD int
+}
+
+type fdState struct {
+	h      *pfs.Handle
+	pos    int64
+	append bool
+	size   int64 // local size mirror for append/seek-end
+}
+
+// NewEnv creates a POSIX environment for rank on client c, tracing into col
+// (nil disables tracing).
+func NewEnv(c *pfs.Client, rank int, col *trace.Collector) *Env {
+	return &Env{client: c, rank: rank, col: col, fds: make(map[int]*fdState), nextFD: 3}
+}
+
+// Client returns the underlying PFS client.
+func (e *Env) Client() *pfs.Client { return e.client }
+
+func (e *Env) emit(p *des.Proc, op, path string, off, size int64, start des.Time) {
+	e.col.Emit(trace.Record{
+		Rank: e.rank, Layer: trace.LayerPOSIX, Op: op, Path: path,
+		Offset: off, Size: size, Start: start, End: p.Now(),
+	})
+}
+
+// Open opens path with flags and returns a descriptor.
+func (e *Env) Open(p *des.Proc, path string, flags int) (int, error) {
+	start := p.Now()
+	var h *pfs.Handle
+	var err error
+	var size int64
+	if flags&OCreate != 0 {
+		h, err = e.client.Create(p, path, e.StripeCount, e.StripeSize)
+		if errors.Is(err, pfs.ErrExist) && flags&OExcl == 0 {
+			h, err = e.client.Open(p, path)
+			if err == nil {
+				if fi, serr := e.client.Stat(p, path); serr == nil {
+					size = fi.Size
+				}
+			}
+		}
+	} else {
+		h, err = e.client.Open(p, path)
+		if err == nil {
+			if fi, serr := e.client.Stat(p, path); serr == nil {
+				size = fi.Size
+			}
+		}
+	}
+	e.emit(p, "open", path, 0, 0, start)
+	if err != nil {
+		return -1, err
+	}
+	fd := e.nextFD
+	e.nextFD++
+	e.fds[fd] = &fdState{h: h, append: flags&OAppend != 0, size: size}
+	if flags&OAppend != 0 {
+		e.fds[fd].pos = size
+	}
+	return fd, nil
+}
+
+func (e *Env) fd(fd int) (*fdState, error) {
+	st, ok := e.fds[fd]
+	if !ok {
+		return nil, ErrBadFD
+	}
+	return st, nil
+}
+
+// Write writes size bytes at the current position, advancing it.
+func (e *Env) Write(p *des.Proc, fd int, size int64) (int64, error) {
+	st, err := e.fd(fd)
+	if err != nil {
+		return 0, err
+	}
+	n, err := e.Pwrite(p, fd, st.pos, size)
+	st.pos += n
+	return n, err
+}
+
+// Pwrite writes size bytes at offset off without moving the position.
+func (e *Env) Pwrite(p *des.Proc, fd int, off, size int64) (int64, error) {
+	st, err := e.fd(fd)
+	if err != nil {
+		return 0, err
+	}
+	start := p.Now()
+	st.h.Write(p, off, size)
+	if end := off + size; end > st.size {
+		st.size = end
+	}
+	e.emit(p, "write", st.h.Path(), off, size, start)
+	return size, nil
+}
+
+// Read reads size bytes at the current position, advancing it.
+func (e *Env) Read(p *des.Proc, fd int, size int64) (int64, error) {
+	st, err := e.fd(fd)
+	if err != nil {
+		return 0, err
+	}
+	n, err := e.Pread(p, fd, st.pos, size)
+	st.pos += n
+	return n, err
+}
+
+// Pread reads size bytes at offset off without moving the position.
+func (e *Env) Pread(p *des.Proc, fd int, off, size int64) (int64, error) {
+	st, err := e.fd(fd)
+	if err != nil {
+		return 0, err
+	}
+	start := p.Now()
+	st.h.Read(p, off, size)
+	e.emit(p, "read", st.h.Path(), off, size, start)
+	return size, nil
+}
+
+// Seek whence values.
+const (
+	SeekSet = 0
+	SeekCur = 1
+	SeekEnd = 2
+)
+
+// Lseek repositions the descriptor and returns the new position.
+func (e *Env) Lseek(fd int, off int64, whence int) (int64, error) {
+	st, err := e.fd(fd)
+	if err != nil {
+		return 0, err
+	}
+	switch whence {
+	case SeekSet:
+		st.pos = off
+	case SeekCur:
+		st.pos += off
+	case SeekEnd:
+		st.pos = st.size + off
+	default:
+		return 0, fmt.Errorf("posixio: bad whence %d", whence)
+	}
+	if st.pos < 0 {
+		st.pos = 0
+	}
+	return st.pos, nil
+}
+
+// Fsync flushes buffered writes for fd.
+func (e *Env) Fsync(p *des.Proc, fd int) error {
+	st, err := e.fd(fd)
+	if err != nil {
+		return err
+	}
+	start := p.Now()
+	st.h.Fsync(p)
+	e.emit(p, "fsync", st.h.Path(), 0, 0, start)
+	return nil
+}
+
+// Close closes fd.
+func (e *Env) Close(p *des.Proc, fd int) error {
+	st, err := e.fd(fd)
+	if err != nil {
+		return err
+	}
+	start := p.Now()
+	st.h.Close(p)
+	delete(e.fds, fd)
+	e.emit(p, "close", st.h.Path(), 0, 0, start)
+	return nil
+}
+
+// Stat returns file metadata.
+func (e *Env) Stat(p *des.Proc, path string) (pfs.FileInfo, error) {
+	start := p.Now()
+	fi, err := e.client.Stat(p, path)
+	e.emit(p, "stat", path, 0, 0, start)
+	return fi, err
+}
+
+// Mkdir creates a directory.
+func (e *Env) Mkdir(p *des.Proc, path string) error {
+	start := p.Now()
+	err := e.client.Mkdir(p, path)
+	e.emit(p, "mkdir", path, 0, 0, start)
+	return err
+}
+
+// Rmdir removes an empty directory.
+func (e *Env) Rmdir(p *des.Proc, path string) error {
+	start := p.Now()
+	err := e.client.Rmdir(p, path)
+	e.emit(p, "rmdir", path, 0, 0, start)
+	return err
+}
+
+// Unlink removes a file.
+func (e *Env) Unlink(p *des.Proc, path string) error {
+	start := p.Now()
+	err := e.client.Unlink(p, path)
+	e.emit(p, "unlink", path, 0, 0, start)
+	return err
+}
+
+// Readdir lists directory entries.
+func (e *Env) Readdir(p *des.Proc, path string) ([]string, error) {
+	start := p.Now()
+	names, err := e.client.Readdir(p, path)
+	e.emit(p, "readdir", path, 0, int64(len(names)), start)
+	return names, err
+}
+
+// OpenFDs reports the number of open descriptors (for leak tests).
+func (e *Env) OpenFDs() int { return len(e.fds) }

@@ -1,0 +1,201 @@
+package predict
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Grammar is a straight-line grammar inferred from a symbol sequence by
+// iterative digram replacement (RePair, in the same grammar-compression
+// family as the Sequitur algorithm Omnisc'IO builds on). Terminals are
+// non-negative ints; nonterminals are negative.
+type Grammar struct {
+	// Root is the start production.
+	Root []int
+	// Rules maps nonterminal id (negative) to its right-hand side.
+	Rules map[int][]int
+}
+
+// InferGrammar compresses seq by repeatedly replacing the most frequent
+// digram with a fresh nonterminal until no digram occurs twice.
+func InferGrammar(seq []int) *Grammar {
+	g := &Grammar{Root: append([]int(nil), seq...), Rules: map[int][]int{}}
+	next := -1
+	for {
+		// Count non-overlapping digrams.
+		type digram [2]int
+		counts := map[digram]int{}
+		prevWasPair := false
+		for i := 0; i+1 < len(g.Root); i++ {
+			d := digram{g.Root[i], g.Root[i+1]}
+			// Avoid counting overlapping occurrences of aa in aaa twice.
+			if prevWasPair && i > 0 && g.Root[i-1] == g.Root[i] && g.Root[i] == g.Root[i+1] {
+				prevWasPair = false
+				continue
+			}
+			counts[d]++
+			prevWasPair = true
+		}
+		best := digram{}
+		bestN := 1
+		for d, n := range counts {
+			if n > bestN {
+				best, bestN = d, n
+			}
+		}
+		if bestN < 2 {
+			break
+		}
+		nt := next
+		next--
+		g.Rules[nt] = []int{best[0], best[1]}
+		// Replace left-to-right, non-overlapping.
+		var out []int
+		for i := 0; i < len(g.Root); {
+			if i+1 < len(g.Root) && g.Root[i] == best[0] && g.Root[i+1] == best[1] {
+				out = append(out, nt)
+				i += 2
+			} else {
+				out = append(out, g.Root[i])
+				i++
+			}
+		}
+		g.Root = out
+	}
+	return g
+}
+
+// Expand reproduces the original sequence.
+func (g *Grammar) Expand() []int {
+	var out []int
+	var expand func(sym int)
+	expand = func(sym int) {
+		if sym >= 0 {
+			out = append(out, sym)
+			return
+		}
+		for _, s := range g.Rules[sym] {
+			expand(s)
+		}
+	}
+	for _, s := range g.Root {
+		expand(s)
+	}
+	return out
+}
+
+// Size returns the total number of symbols in the grammar (root plus all
+// rule right-hand sides) — the compressed representation size.
+func (g *Grammar) Size() int {
+	n := len(g.Root)
+	for _, rhs := range g.Rules {
+		n += len(rhs)
+	}
+	return n
+}
+
+// CompressionRatio returns original length / grammar size for seq.
+func CompressionRatio(seq []int) float64 {
+	if len(seq) == 0 {
+		return 1
+	}
+	g := InferGrammar(seq)
+	return float64(len(seq)) / float64(g.Size())
+}
+
+// String renders the grammar for debugging.
+func (g *Grammar) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "S -> %v\n", g.Root)
+	for nt := -1; ; nt-- {
+		rhs, ok := g.Rules[nt]
+		if !ok {
+			break
+		}
+		fmt.Fprintf(&b, "R%d -> %v\n", -nt, rhs)
+	}
+	return b.String()
+}
+
+// SeqPredictor predicts the next symbol of an I/O operation stream from
+// variable-length context matching (the role Omnisc'IO's grammar model
+// plays for I/O behavior prediction). Longer matched contexts win.
+type SeqPredictor struct {
+	maxCtx int
+	counts map[string]map[int]int
+}
+
+// NewSeqPredictor creates a predictor using contexts up to maxCtx symbols.
+func NewSeqPredictor(maxCtx int) *SeqPredictor {
+	if maxCtx < 1 {
+		maxCtx = 1
+	}
+	return &SeqPredictor{maxCtx: maxCtx, counts: map[string]map[int]int{}}
+}
+
+func ctxKey(ctx []int) string {
+	var b strings.Builder
+	for _, s := range ctx {
+		fmt.Fprintf(&b, "%d,", s)
+	}
+	return b.String()
+}
+
+// Observe trains on a full sequence.
+func (sp *SeqPredictor) Observe(seq []int) {
+	for i := 0; i < len(seq); i++ {
+		for c := 1; c <= sp.maxCtx && c <= i; c++ {
+			key := ctxKey(seq[i-c : i])
+			m := sp.counts[key]
+			if m == nil {
+				m = map[int]int{}
+				sp.counts[key] = m
+			}
+			m[seq[i]]++
+		}
+	}
+}
+
+// Predict returns the most likely next symbol after ctx, preferring the
+// longest matching context. ok is false when no context matches.
+func (sp *SeqPredictor) Predict(ctx []int) (next int, ok bool) {
+	start := 0
+	if len(ctx) > sp.maxCtx {
+		start = len(ctx) - sp.maxCtx
+	}
+	for c := start; c < len(ctx); c++ { // longest context first
+		m := sp.counts[ctxKey(ctx[c:])]
+		if len(m) == 0 {
+			continue
+		}
+		best, bestN := 0, 0
+		for sym, n := range m {
+			if n > bestN || (n == bestN && sym < best) {
+				best, bestN = sym, n
+			}
+		}
+		return best, true
+	}
+	return 0, false
+}
+
+// Accuracy replays seq, predicting each symbol from its prefix, and returns
+// the fraction predicted correctly (skipping the first warm symbols).
+func (sp *SeqPredictor) Accuracy(seq []int, warm int) float64 {
+	if warm < 1 {
+		warm = 1
+	}
+	total, correct := 0, 0
+	for i := warm; i < len(seq); i++ {
+		if got, ok := sp.Predict(seq[:i]); ok {
+			total++
+			if got == seq[i] {
+				correct++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}

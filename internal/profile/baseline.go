@@ -1,0 +1,85 @@
+package profile
+
+import (
+	"sort"
+
+	"pioeval/internal/stats"
+)
+
+// Baseline places a run's metrics in the context of historical runs — the
+// UMAMI idea (Lockwood et al.): a bandwidth number means little in
+// isolation, but its percentile against the site's history flags
+// regressions and anomalies.
+type Baseline struct {
+	history map[string][]float64
+}
+
+// NewBaseline creates an empty history.
+func NewBaseline() *Baseline {
+	return &Baseline{history: map[string][]float64{}}
+}
+
+// Record adds one historical observation of a metric.
+func (b *Baseline) Record(metric string, value float64) {
+	b.history[metric] = append(b.history[metric], value)
+}
+
+// Runs returns the number of recorded observations for metric.
+func (b *Baseline) Runs(metric string) int { return len(b.history[metric]) }
+
+// Percentile returns the fraction of historical values <= value, in [0,1];
+// -1 when the metric has no history.
+func (b *Baseline) Percentile(metric string, value float64) float64 {
+	h := b.history[metric]
+	if len(h) == 0 {
+		return -1
+	}
+	return stats.NewECDF(h).At(value)
+}
+
+// Quantile returns the q-quantile of the metric's history.
+func (b *Baseline) Quantile(metric string, q float64) float64 {
+	return stats.Quantile(b.history[metric], q)
+}
+
+// Assessment classifies a new observation against history.
+type Assessment int
+
+// Assessment values.
+const (
+	NoHistory Assessment = iota
+	Typical              // within [loQ, hiQ] quantiles
+	Low                  // below loQ — e.g. a bandwidth regression
+	High                 // above hiQ
+)
+
+// String returns the assessment name.
+func (a Assessment) String() string {
+	switch a {
+	case Typical:
+		return "typical"
+	case Low:
+		return "low"
+	case High:
+		return "high"
+	}
+	return "no-history"
+}
+
+// Assess classifies value against the metric's history using the given
+// quantile band (e.g. 0.1, 0.9).
+func (b *Baseline) Assess(metric string, value, loQ, hiQ float64) Assessment {
+	h := b.history[metric]
+	if len(h) < 2 {
+		return NoHistory
+	}
+	sorted := append([]float64(nil), h...)
+	sort.Float64s(sorted)
+	if value < stats.Quantile(sorted, loQ) {
+		return Low
+	}
+	if value > stats.Quantile(sorted, hiQ) {
+		return High
+	}
+	return Typical
+}

@@ -1,0 +1,100 @@
+package profile
+
+import (
+	"pioeval/internal/des"
+	"pioeval/internal/trace"
+)
+
+// TimelineBin aggregates I/O activity within one time bin.
+type TimelineBin struct {
+	Start      des.Time
+	ReadBytes  int64
+	WriteBytes int64
+	ReadOps    int
+	WriteOps   int
+	MetaOps    int
+}
+
+// Timeline is a Darshan-heatmap-style time-binned view of I/O activity:
+// bytes and operations per fixed-width time bin, per layer.
+type Timeline struct {
+	Layer    trace.Layer
+	binWidth des.Time
+	bins     []TimelineBin
+}
+
+// NewTimeline creates a POSIX-layer timeline with the given bin width.
+func NewTimeline(binWidth des.Time) *Timeline {
+	if binWidth <= 0 {
+		binWidth = des.Millisecond
+	}
+	return &Timeline{Layer: trace.LayerPOSIX, binWidth: binWidth}
+}
+
+// BinWidth returns the configured bin width.
+func (tl *Timeline) BinWidth() des.Time { return tl.binWidth }
+
+// Ingest adds one record (attributed to the bin containing its end time).
+func (tl *Timeline) Ingest(r trace.Record) {
+	if r.Layer != tl.Layer {
+		return
+	}
+	idx := int(r.End / tl.binWidth)
+	for len(tl.bins) <= idx {
+		tl.bins = append(tl.bins, TimelineBin{Start: des.Time(len(tl.bins)) * tl.binWidth})
+	}
+	b := &tl.bins[idx]
+	switch r.Op {
+	case "read":
+		b.ReadBytes += r.Size
+		b.ReadOps++
+	case "write":
+		b.WriteBytes += r.Size
+		b.WriteOps++
+	default:
+		b.MetaOps++
+	}
+}
+
+// IngestAll adds a batch of records.
+func (tl *Timeline) IngestAll(recs []trace.Record) {
+	for _, r := range recs {
+		tl.Ingest(r)
+	}
+}
+
+// Bins returns the timeline (zero-activity bins included).
+func (tl *Timeline) Bins() []TimelineBin { return tl.bins }
+
+// PeakWriteBin returns the bin index with the most write bytes (-1 when
+// empty) — where the burst is.
+func (tl *Timeline) PeakWriteBin() int {
+	best, bestB := -1, int64(0)
+	for i, b := range tl.bins {
+		if b.WriteBytes > bestB {
+			best, bestB = i, b.WriteBytes
+		}
+	}
+	return best
+}
+
+// Burstiness returns peak bin write bytes divided by mean nonzero bin
+// write bytes (1 = perfectly smooth; large = bursty).
+func (tl *Timeline) Burstiness() float64 {
+	var sum int64
+	var peak int64
+	n := 0
+	for _, b := range tl.bins {
+		if b.WriteBytes > 0 {
+			sum += b.WriteBytes
+			n++
+			if b.WriteBytes > peak {
+				peak = b.WriteBytes
+			}
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(peak) / (float64(sum) / float64(n))
+}

@@ -1,0 +1,159 @@
+package profile
+
+import (
+	"testing"
+
+	"pioeval/internal/des"
+	"pioeval/internal/pfs"
+	"pioeval/internal/trace"
+	"pioeval/internal/workload"
+)
+
+func TestTimelineBinning(t *testing.T) {
+	tl := NewTimeline(100)
+	tl.IngestAll([]trace.Record{
+		rec(0, "write", "/f", 0, 1000, 0, 50),
+		rec(0, "write", "/f", 1000, 2000, 50, 150), // bin 1
+		rec(0, "read", "/f", 0, 500, 150, 250),     // bin 2
+		rec(0, "open", "/f", 0, 0, 250, 260),       // bin 2
+	})
+	bins := tl.Bins()
+	if len(bins) != 3 {
+		t.Fatalf("bins = %d", len(bins))
+	}
+	if bins[0].WriteBytes != 1000 || bins[1].WriteBytes != 2000 {
+		t.Errorf("write bins = %+v", bins[:2])
+	}
+	if bins[2].ReadBytes != 500 || bins[2].MetaOps != 1 {
+		t.Errorf("bin 2 = %+v", bins[2])
+	}
+	if bins[1].Start != 100 {
+		t.Errorf("bin start = %v", bins[1].Start)
+	}
+	if tl.PeakWriteBin() != 1 {
+		t.Errorf("peak = %d", tl.PeakWriteBin())
+	}
+}
+
+func TestTimelineLayerFilter(t *testing.T) {
+	tl := NewTimeline(100)
+	r := rec(0, "write", "/f", 0, 100, 0, 10)
+	r.Layer = trace.LayerMPIIO
+	tl.Ingest(r)
+	if len(tl.Bins()) != 0 {
+		t.Error("wrong-layer record binned")
+	}
+}
+
+func TestTimelineBurstiness(t *testing.T) {
+	smooth := NewTimeline(100)
+	bursty := NewTimeline(100)
+	for i := int64(0); i < 10; i++ {
+		smooth.Ingest(rec(0, "write", "/f", i*100, 100, i*100, i*100+10))
+	}
+	// One bin holds almost everything.
+	bursty.Ingest(rec(0, "write", "/f", 0, 10000, 0, 10))
+	bursty.Ingest(rec(0, "write", "/f", 10000, 100, 500, 510))
+	if s := smooth.Burstiness(); s != 1 {
+		t.Errorf("smooth burstiness = %v", s)
+	}
+	if b := bursty.Burstiness(); b < 1.5 {
+		t.Errorf("bursty burstiness = %v", b)
+	}
+	if NewTimeline(0).Burstiness() != 0 {
+		t.Error("empty burstiness")
+	}
+	if NewTimeline(100).PeakWriteBin() != -1 {
+		t.Error("empty peak bin")
+	}
+}
+
+func TestTimelineDefaultBinWidth(t *testing.T) {
+	tl := NewTimeline(0)
+	if tl.BinWidth() != des.Millisecond {
+		t.Errorf("default bin width = %v", tl.BinWidth())
+	}
+}
+
+func TestHooksComposeProfilerAndTimeline(t *testing.T) {
+	col := trace.NewCollector()
+	p := New()
+	tl := NewTimeline(100)
+	col.SetHook(trace.Hooks(p.Ingest, tl.Ingest))
+	col.Emit(rec(0, "write", "/f", 0, 4096, 0, 10))
+	if len(p.PerRank()) != 1 {
+		t.Error("profiler missed hooked record")
+	}
+	if len(tl.Bins()) != 1 {
+		t.Error("timeline missed hooked record")
+	}
+}
+
+func TestBaselinePercentiles(t *testing.T) {
+	b := NewBaseline()
+	if b.Percentile("bw", 100) != -1 {
+		t.Error("no-history percentile")
+	}
+	for i := 1; i <= 100; i++ {
+		b.Record("bw", float64(i))
+	}
+	if b.Runs("bw") != 100 {
+		t.Errorf("runs = %d", b.Runs("bw"))
+	}
+	if p := b.Percentile("bw", 50); p < 0.45 || p > 0.55 {
+		t.Errorf("P(50) = %v", p)
+	}
+	if p := b.Percentile("bw", 1000); p != 1 {
+		t.Errorf("P(max) = %v", p)
+	}
+	if q := b.Quantile("bw", 0.5); q < 45 || q > 55 {
+		t.Errorf("median = %v", q)
+	}
+}
+
+func TestBaselineAssess(t *testing.T) {
+	b := NewBaseline()
+	if b.Assess("bw", 1, 0.1, 0.9) != NoHistory {
+		t.Error("empty history assess")
+	}
+	for i := 0; i < 50; i++ {
+		b.Record("bw", 500+float64(i%10)) // bandwidth ~500-509
+	}
+	if a := b.Assess("bw", 505, 0.1, 0.9); a != Typical {
+		t.Errorf("typical run = %v", a)
+	}
+	if a := b.Assess("bw", 100, 0.1, 0.9); a != Low {
+		t.Errorf("regressed run = %v", a)
+	}
+	if a := b.Assess("bw", 900, 0.1, 0.9); a != High {
+		t.Errorf("anomalously fast run = %v", a)
+	}
+	if Low.String() != "low" || NoHistory.String() != "no-history" || Typical.String() != "typical" || High.String() != "high" {
+		t.Error("assessment names")
+	}
+}
+
+func TestBaselineDetectsSimulatedRegression(t *testing.T) {
+	// Run the same IOR config repeatedly to build history, then degrade
+	// an OST and confirm the new run assesses Low — the UMAMI use case.
+	runBW := func(seed int64, straggle bool) float64 {
+		e := des.NewEngine(seed)
+		cfg := pfs.DefaultConfig()
+		cfg.NumIONodes = 0
+		fs := pfs.New(e, cfg)
+		if straggle {
+			fs.InjectOSTSlowdown(0, 6)
+		}
+		h := workload.NewHarness(e, fs, 4, "um", nil)
+		rep := workload.RunIOR(h, workload.IORConfig{Ranks: 4, BlockSize: 8 << 20, TransferSize: 1 << 20})
+		return rep.WriteMBps
+	}
+	b := NewBaseline()
+	for s := int64(0); s < 8; s++ {
+		b.Record("ior.write", runBW(100+s, false))
+	}
+	degraded := runBW(200, true)
+	if a := b.Assess("ior.write", degraded, 0.1, 0.9); a != Low {
+		t.Errorf("degraded run assessed %v (bw %.1f), want low", a, degraded)
+	}
+}

@@ -1,0 +1,221 @@
+// Package sched simulates a cluster workload manager (Slurm-like): jobs
+// with submit times, node counts, and walltimes are scheduled onto a fixed
+// node pool under FCFS or EASY-backfill policies, producing the job logs
+// that the paper's §IV-A2 lists as a monitoring side channel and that the
+// modeling phase consumes alongside traces and server statistics.
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"pioeval/internal/des"
+)
+
+// Policy selects the scheduling algorithm.
+type Policy int
+
+// Scheduling policies.
+const (
+	FCFS Policy = iota
+	EASYBackfill
+)
+
+// String returns the policy name.
+func (p Policy) String() string {
+	switch p {
+	case FCFS:
+		return "fcfs"
+	case EASYBackfill:
+		return "easy-backfill"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+// Job is one batch job submission.
+type Job struct {
+	ID     string
+	Submit des.Time
+	Nodes  int
+	// Walltime is the requested time limit (used for backfill decisions).
+	Walltime des.Time
+	// Runtime is the actual execution time (<= Walltime in practice).
+	Runtime des.Time
+}
+
+// Record is one line of the resulting job log.
+type Record struct {
+	Job
+	Start des.Time
+	End   des.Time
+}
+
+// Wait returns the job's queue wait time.
+func (r Record) Wait() des.Time { return r.Start - r.Submit }
+
+// Simulate schedules jobs onto a pool of totalNodes nodes under the policy
+// and returns the job log sorted by start time. It panics if any job
+// requests more nodes than the pool has.
+func Simulate(jobs []Job, totalNodes int, policy Policy) []Record {
+	if totalNodes <= 0 {
+		panic("sched: non-positive node pool")
+	}
+	for _, j := range jobs {
+		if j.Nodes <= 0 || j.Nodes > totalNodes {
+			panic(fmt.Sprintf("sched: job %s requests %d of %d nodes", j.ID, j.Nodes, totalNodes))
+		}
+		if j.Runtime <= 0 {
+			panic(fmt.Sprintf("sched: job %s has non-positive runtime", j.ID))
+		}
+	}
+
+	pending := make([]Job, len(jobs))
+	copy(pending, jobs)
+	sort.SliceStable(pending, func(i, j int) bool { return pending[i].Submit < pending[j].Submit })
+
+	type running struct {
+		end   des.Time
+		nodes int
+	}
+	var (
+		now     des.Time
+		free    = totalNodes
+		queue   []Job
+		active  []running
+		log     []Record
+		nextArr = 0
+	)
+
+	finishUpTo := func(t des.Time) {
+		// Release nodes from jobs completing at or before t.
+		kept := active[:0]
+		for _, r := range active {
+			if r.end <= t {
+				free += r.nodes
+			} else {
+				kept = append(kept, r)
+			}
+		}
+		active = kept
+	}
+
+	start := func(j Job) {
+		free -= j.Nodes
+		active = append(active, running{end: now + j.Runtime, nodes: j.Nodes})
+		log = append(log, Record{Job: j, Start: now, End: now + j.Runtime})
+	}
+
+	// shadowTime computes when the head job could start, given currently
+	// running jobs, and the nodes spare at that moment beyond the head's
+	// need.
+	shadow := func(head Job) (des.Time, int) {
+		ends := make([]running, len(active))
+		copy(ends, active)
+		sort.Slice(ends, func(i, j int) bool { return ends[i].end < ends[j].end })
+		avail := free
+		for _, r := range ends {
+			if avail >= head.Nodes {
+				break
+			}
+			avail += r.nodes
+			if avail >= head.Nodes {
+				// Head starts when this job ends.
+				spare := avail - head.Nodes
+				return r.end, spare
+			}
+		}
+		return now, avail - head.Nodes // head fits now (shouldn't happen here)
+	}
+
+	schedule := func() {
+		// FCFS phase: start queue head(s) while they fit.
+		for len(queue) > 0 && queue[0].Nodes <= free {
+			start(queue[0])
+			queue = queue[1:]
+		}
+		if policy != EASYBackfill || len(queue) == 0 {
+			return
+		}
+		// EASY phase: head blocked. Backfill jobs that fit now and do not
+		// delay the head's reservation.
+		head := queue[0]
+		shadowT, spare := shadow(head)
+		kept := queue[:1]
+		for _, j := range queue[1:] {
+			fitsNow := j.Nodes <= free
+			noDelay := now+j.Walltime <= shadowT || j.Nodes <= spare
+			if fitsNow && noDelay {
+				start(j)
+				if j.Nodes <= spare {
+					spare -= j.Nodes
+				}
+			} else {
+				kept = append(kept, j)
+			}
+		}
+		queue = kept
+	}
+
+	for nextArr < len(pending) || len(queue) > 0 || len(active) > 0 {
+		// Next event time: earliest of next arrival and next completion.
+		next := des.MaxTime
+		if nextArr < len(pending) && pending[nextArr].Submit < next {
+			next = pending[nextArr].Submit
+		}
+		for _, r := range active {
+			if r.end < next {
+				next = r.end
+			}
+		}
+		if next == des.MaxTime {
+			panic("sched: stuck with a non-empty queue and no events")
+		}
+		now = next
+		finishUpTo(now)
+		for nextArr < len(pending) && pending[nextArr].Submit <= now {
+			queue = append(queue, pending[nextArr])
+			nextArr++
+		}
+		schedule()
+	}
+
+	sort.SliceStable(log, func(i, j int) bool { return log[i].Start < log[j].Start })
+	return log
+}
+
+// Makespan returns the time the last job finishes.
+func Makespan(log []Record) des.Time {
+	var m des.Time
+	for _, r := range log {
+		if r.End > m {
+			m = r.End
+		}
+	}
+	return m
+}
+
+// AvgWait returns the mean queue wait.
+func AvgWait(log []Record) des.Time {
+	if len(log) == 0 {
+		return 0
+	}
+	var sum des.Time
+	for _, r := range log {
+		sum += r.Wait()
+	}
+	return sum / des.Time(len(log))
+}
+
+// Utilization returns node-seconds used divided by node-seconds available
+// over the makespan.
+func Utilization(log []Record, totalNodes int) float64 {
+	ms := Makespan(log)
+	if ms == 0 || totalNodes == 0 {
+		return 0
+	}
+	var used float64
+	for _, r := range log {
+		used += float64(r.Nodes) * float64(r.End-r.Start)
+	}
+	return used / (float64(totalNodes) * float64(ms))
+}

@@ -1,0 +1,232 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pioeval/internal/des"
+)
+
+const minute = des.Minute
+
+func TestFCFSSerializesOnContention(t *testing.T) {
+	jobs := []Job{
+		{ID: "a", Submit: 0, Nodes: 4, Walltime: 10 * minute, Runtime: 10 * minute},
+		{ID: "b", Submit: 0, Nodes: 4, Walltime: 10 * minute, Runtime: 10 * minute},
+	}
+	log := Simulate(jobs, 4, FCFS)
+	if log[0].Start != 0 || log[1].Start != 10*minute {
+		t.Fatalf("starts = %v, %v", log[0].Start, log[1].Start)
+	}
+	if Makespan(log) != 20*minute {
+		t.Errorf("makespan = %v", Makespan(log))
+	}
+}
+
+func TestFCFSParallelWhenFits(t *testing.T) {
+	jobs := []Job{
+		{ID: "a", Submit: 0, Nodes: 2, Walltime: minute, Runtime: minute},
+		{ID: "b", Submit: 0, Nodes: 2, Walltime: minute, Runtime: minute},
+	}
+	log := Simulate(jobs, 4, FCFS)
+	if log[0].Start != 0 || log[1].Start != 0 {
+		t.Fatalf("both should start immediately: %v %v", log[0].Start, log[1].Start)
+	}
+}
+
+func TestFCFSHeadBlocking(t *testing.T) {
+	// Narrow job c sits behind wide job b under FCFS even though it fits.
+	jobs := []Job{
+		{ID: "a", Submit: 0, Nodes: 3, Walltime: 10 * minute, Runtime: 10 * minute},
+		{ID: "b", Submit: minute, Nodes: 4, Walltime: 10 * minute, Runtime: 10 * minute},
+		{ID: "c", Submit: minute, Nodes: 1, Walltime: 2 * minute, Runtime: 2 * minute},
+	}
+	log := Simulate(jobs, 4, FCFS)
+	byID := map[string]Record{}
+	for _, r := range log {
+		byID[r.ID] = r
+	}
+	if byID["c"].Start < byID["b"].Start {
+		t.Fatalf("FCFS must not let c jump b: c=%v b=%v", byID["c"].Start, byID["b"].Start)
+	}
+}
+
+func TestEASYBackfillsNarrowJob(t *testing.T) {
+	// Same workload: EASY lets c run in a's shadow because c finishes
+	// before b's reservation.
+	jobs := []Job{
+		{ID: "a", Submit: 0, Nodes: 3, Walltime: 10 * minute, Runtime: 10 * minute},
+		{ID: "b", Submit: minute, Nodes: 4, Walltime: 10 * minute, Runtime: 10 * minute},
+		{ID: "c", Submit: minute, Nodes: 1, Walltime: 2 * minute, Runtime: 2 * minute},
+	}
+	log := Simulate(jobs, 4, EASYBackfill)
+	byID := map[string]Record{}
+	for _, r := range log {
+		byID[r.ID] = r
+	}
+	if byID["c"].Start != minute {
+		t.Fatalf("c should backfill at 1min, started %v", byID["c"].Start)
+	}
+	// b must not be delayed past a's end.
+	if byID["b"].Start != 10*minute {
+		t.Fatalf("b delayed to %v by backfill", byID["b"].Start)
+	}
+}
+
+func TestEASYDoesNotDelayHead(t *testing.T) {
+	// A long narrow job must NOT backfill if it would outlast the shadow
+	// and eat the head's nodes.
+	jobs := []Job{
+		{ID: "a", Submit: 0, Nodes: 3, Walltime: 10 * minute, Runtime: 10 * minute},
+		{ID: "b", Submit: minute, Nodes: 4, Walltime: 10 * minute, Runtime: 10 * minute},
+		{ID: "c", Submit: minute, Nodes: 1, Walltime: 60 * minute, Runtime: 60 * minute},
+	}
+	log := Simulate(jobs, 4, EASYBackfill)
+	byID := map[string]Record{}
+	for _, r := range log {
+		byID[r.ID] = r
+	}
+	if byID["b"].Start != 10*minute {
+		t.Fatalf("b should start at a's end (10min), got %v", byID["b"].Start)
+	}
+	if byID["c"].Start < byID["b"].Start {
+		t.Fatalf("c must not delay b's reservation (c at %v)", byID["c"].Start)
+	}
+}
+
+func TestBackfillImprovesUtilization(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var jobs []Job
+	for i := 0; i < 60; i++ {
+		nodes := 1 << rng.Intn(5) // 1..16
+		rt := des.Time(rng.Intn(50)+5) * minute
+		jobs = append(jobs, Job{
+			ID:       string(rune('a'+i%26)) + string(rune('0'+i/26)),
+			Submit:   des.Time(rng.Intn(120)) * minute,
+			Nodes:    nodes,
+			Walltime: rt,
+			Runtime:  rt,
+		})
+	}
+	fcfs := Simulate(jobs, 16, FCFS)
+	easy := Simulate(jobs, 16, EASYBackfill)
+	if Makespan(easy) > Makespan(fcfs) {
+		t.Errorf("backfill makespan %v worse than FCFS %v", Makespan(easy), Makespan(fcfs))
+	}
+	if AvgWait(easy) >= AvgWait(fcfs) {
+		t.Errorf("backfill wait %v should beat FCFS %v", AvgWait(easy), AvgWait(fcfs))
+	}
+	if Utilization(easy, 16) < Utilization(fcfs, 16) {
+		t.Errorf("backfill util %.2f < FCFS %.2f", Utilization(easy, 16), Utilization(fcfs, 16))
+	}
+}
+
+func TestValidation(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s should panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("oversized job", func() {
+		Simulate([]Job{{ID: "x", Nodes: 10, Runtime: minute, Walltime: minute}}, 4, FCFS)
+	})
+	mustPanic("zero runtime", func() {
+		Simulate([]Job{{ID: "x", Nodes: 1, Walltime: minute}}, 4, FCFS)
+	})
+	mustPanic("zero pool", func() {
+		Simulate(nil, 0, FCFS)
+	})
+}
+
+func TestEmptyWorkload(t *testing.T) {
+	log := Simulate(nil, 8, EASYBackfill)
+	if len(log) != 0 || Makespan(log) != 0 || AvgWait(log) != 0 {
+		t.Error("empty workload should produce empty log")
+	}
+	if Utilization(log, 8) != 0 {
+		t.Error("empty utilization")
+	}
+}
+
+// Properties that must hold for every policy and any workload:
+// 1. every job runs exactly once, not before submit;
+// 2. node capacity is never exceeded;
+// 3. duration equals the job's runtime.
+func TestPropSchedulerInvariants(t *testing.T) {
+	check := func(policy Policy) func(seed int64, nRaw uint8) bool {
+		return func(seed int64, nRaw uint8) bool {
+			rng := rand.New(rand.NewSource(seed))
+			n := int(nRaw%20) + 1
+			pool := rng.Intn(15) + 2
+			var jobs []Job
+			for i := 0; i < n; i++ {
+				rt := des.Time(rng.Intn(100)+1) * des.Second
+				jobs = append(jobs, Job{
+					ID:       "j" + string(rune('A'+i%26)) + string(rune('0'+i/26)),
+					Submit:   des.Time(rng.Intn(300)) * des.Second,
+					Nodes:    rng.Intn(pool) + 1,
+					Walltime: rt + des.Time(rng.Intn(60))*des.Second,
+					Runtime:  rt,
+				})
+			}
+			log := Simulate(jobs, pool, policy)
+			if len(log) != len(jobs) {
+				return false
+			}
+			var edges []capEdge
+			seen := map[string]bool{}
+			for _, r := range log {
+				if seen[r.ID] || r.Start < r.Submit || r.End-r.Start != r.Runtime {
+					return false
+				}
+				seen[r.ID] = true
+				edges = append(edges, capEdge{r.Start, r.Nodes}, capEdge{r.End, -r.Nodes})
+			}
+			// Sweep: capacity never exceeded (ends release before starts at
+			// the same instant).
+			sortEdges(edges)
+			used := 0
+			for _, e := range edges {
+				used += e.delta
+				if used > pool {
+					return false
+				}
+			}
+			return true
+		}
+	}
+	if err := quick.Check(check(FCFS), &quick.Config{MaxCount: 40}); err != nil {
+		t.Errorf("FCFS: %v", err)
+	}
+	if err := quick.Check(check(EASYBackfill), &quick.Config{MaxCount: 40}); err != nil {
+		t.Errorf("EASY: %v", err)
+	}
+}
+
+type capEdge struct {
+	at    des.Time
+	delta int
+}
+
+func sortEdges(edges []capEdge) {
+	for i := 1; i < len(edges); i++ {
+		for j := i; j > 0; j-- {
+			a, b := edges[j-1], edges[j]
+			if b.at < a.at || (b.at == a.at && b.delta < a.delta) {
+				edges[j-1], edges[j] = b, a
+			} else {
+				break
+			}
+		}
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if FCFS.String() != "fcfs" || EASYBackfill.String() != "easy-backfill" {
+		t.Error("policy names")
+	}
+}

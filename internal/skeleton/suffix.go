@@ -1,0 +1,105 @@
+package skeleton
+
+import "sort"
+
+// SuffixArray builds the suffix array of an integer sequence in
+// O(n log^2 n) (prefix-doubling). It backs the repeated-phrase analysis
+// that motivates trace folding — the role the suffix tree plays in Hao et
+// al.'s trace compressor.
+func SuffixArray(seq []int) []int {
+	n := len(seq)
+	sa := make([]int, n)
+	rank := make([]int, n)
+	tmp := make([]int, n)
+	for i := range sa {
+		sa[i] = i
+		rank[i] = seq[i]
+	}
+	for k := 1; ; k *= 2 {
+		cmp := func(a, b int) bool {
+			if rank[a] != rank[b] {
+				return rank[a] < rank[b]
+			}
+			ra, rb := -1, -1
+			if a+k < n {
+				ra = rank[a+k]
+			}
+			if b+k < n {
+				rb = rank[b+k]
+			}
+			return ra < rb
+		}
+		sort.Slice(sa, func(i, j int) bool { return cmp(sa[i], sa[j]) })
+		tmp[sa[0]] = 0
+		for i := 1; i < n; i++ {
+			tmp[sa[i]] = tmp[sa[i-1]]
+			if cmp(sa[i-1], sa[i]) {
+				tmp[sa[i]]++
+			}
+		}
+		copy(rank, tmp)
+		if n == 0 || rank[sa[n-1]] == n-1 {
+			break
+		}
+	}
+	return sa
+}
+
+// LCPArray computes the longest-common-prefix array via Kasai's algorithm:
+// lcp[i] is the LCP length of suffixes sa[i] and sa[i-1] (lcp[0] = 0).
+func LCPArray(seq []int, sa []int) []int {
+	n := len(seq)
+	lcp := make([]int, n)
+	inv := make([]int, n)
+	for i, s := range sa {
+		inv[s] = i
+	}
+	h := 0
+	for i := 0; i < n; i++ {
+		if inv[i] > 0 {
+			j := sa[inv[i]-1]
+			for i+h < n && j+h < n && seq[i+h] == seq[j+h] {
+				h++
+			}
+			lcp[inv[i]] = h
+			if h > 0 {
+				h--
+			}
+		} else {
+			h = 0
+		}
+	}
+	return lcp
+}
+
+// LongestRepeat returns the longest substring occurring at least twice
+// (start offset and length; length 0 when none exists).
+func LongestRepeat(seq []int) (start, length int) {
+	if len(seq) < 2 {
+		return 0, 0
+	}
+	sa := SuffixArray(seq)
+	lcp := LCPArray(seq, sa)
+	for i, l := range lcp {
+		if l > length {
+			length = l
+			start = sa[i]
+		}
+	}
+	return start, length
+}
+
+// TokensToSymbols interns tokens to integer symbols for suffix analysis.
+func TokensToSymbols(toks []Token) []int {
+	index := map[Token]int{}
+	out := make([]int, len(toks))
+	for i, t := range toks {
+		id, ok := index[t]
+		if !ok {
+			id = len(index)
+			index[t] = id
+		}
+		out[i] = id
+	}
+	return out
+}

@@ -1,0 +1,58 @@
+package stats
+
+// Autocorrelation returns the sample autocorrelation of xs at the given
+// lag (1 at lag 0; 0 for degenerate inputs).
+func Autocorrelation(xs []float64, lag int) float64 {
+	n := len(xs)
+	if lag < 0 || lag >= n {
+		return 0
+	}
+	m := Mean(xs)
+	var num, den float64
+	for i := 0; i < n; i++ {
+		d := xs[i] - m
+		den += d * d
+	}
+	if den == 0 {
+		return 0
+	}
+	for i := 0; i+lag < n; i++ {
+		num += (xs[i] - m) * (xs[i+lag] - m)
+	}
+	return num / den
+}
+
+// DetectPeriod finds the dominant period of a series by scanning
+// autocorrelation peaks over lags [minLag, maxLag]. It returns the lag with
+// the highest autocorrelation that is also a local maximum, and that
+// correlation value; period 0 means no significant periodicity (peak below
+// threshold). This is the classic I/O-periodicity analysis of §IV-B1
+// applied to sampled bandwidth series.
+func DetectPeriod(xs []float64, minLag, maxLag int, threshold float64) (period int, strength float64) {
+	if minLag < 1 {
+		minLag = 1
+	}
+	if maxLag >= len(xs) {
+		maxLag = len(xs) - 1
+	}
+	best, bestR := 0, threshold
+	for lag := minLag; lag <= maxLag; lag++ {
+		r := Autocorrelation(xs, lag)
+		if r <= bestR {
+			continue
+		}
+		// Require a local maximum to avoid picking the decaying shoulder
+		// of lag ~ 0.
+		prev, next := Autocorrelation(xs, lag-1), 0.0
+		if lag+1 <= maxLag {
+			next = Autocorrelation(xs, lag+1)
+		}
+		if r >= prev && r >= next {
+			best, bestR = lag, r
+		}
+	}
+	if best == 0 {
+		return 0, 0
+	}
+	return best, bestR
+}

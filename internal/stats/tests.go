@@ -1,0 +1,199 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// TTestResult reports a two-sample Welch t-test.
+type TTestResult struct {
+	T  float64
+	DF float64
+	// P is the two-sided p-value (normal approximation of the t
+	// distribution, adequate for df >= ~30; conservative otherwise).
+	P float64
+	// Significant reports P < 0.05.
+	Significant bool
+}
+
+// WelchTTest compares the means of two independent samples without
+// assuming equal variances.
+func WelchTTest(a, b []float64) (TTestResult, error) {
+	if len(a) < 2 || len(b) < 2 {
+		return TTestResult{}, ErrInsufficientData
+	}
+	ma, mb := Mean(a), Mean(b)
+	va, vb := Variance(a), Variance(b)
+	na, nb := float64(len(a)), float64(len(b))
+	se := math.Sqrt(va/na + vb/nb)
+	if se == 0 {
+		if ma == mb {
+			return TTestResult{T: 0, DF: na + nb - 2, P: 1}, nil
+		}
+		return TTestResult{T: math.Inf(1), DF: na + nb - 2, P: 0, Significant: true}, nil
+	}
+	t := (ma - mb) / se
+	// Welch–Satterthwaite degrees of freedom.
+	num := (va/na + vb/nb) * (va/na + vb/nb)
+	den := (va*va)/(na*na*(na-1)) + (vb*vb)/(nb*nb*(nb-1))
+	df := num / den
+	p := 2 * (1 - normalCDF(math.Abs(t)))
+	return TTestResult{T: t, DF: df, P: p, Significant: p < 0.05}, nil
+}
+
+// normalCDF is the standard normal CDF.
+func normalCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// KSResult reports a two-sample Kolmogorov–Smirnov test.
+type KSResult struct {
+	D float64 // max CDF distance
+	P float64 // asymptotic p-value
+	// Significant reports P < 0.05.
+	Significant bool
+}
+
+// KSTest compares two samples' distributions.
+func KSTest(a, b []float64) (KSResult, error) {
+	if len(a) == 0 || len(b) == 0 {
+		return KSResult{}, ErrInsufficientData
+	}
+	sa := append([]float64(nil), a...)
+	sb := append([]float64(nil), b...)
+	sort.Float64s(sa)
+	sort.Float64s(sb)
+	var d float64
+	i, j := 0, 0
+	na, nb := float64(len(sa)), float64(len(sb))
+	for i < len(sa) && j < len(sb) {
+		if sa[i] <= sb[j] {
+			i++
+		} else {
+			j++
+		}
+		diff := math.Abs(float64(i)/na - float64(j)/nb)
+		if diff > d {
+			d = diff
+		}
+	}
+	// Asymptotic Kolmogorov distribution.
+	ne := na * nb / (na + nb)
+	lambda := (math.Sqrt(ne) + 0.12 + 0.11/math.Sqrt(ne)) * d
+	p := ksProb(lambda)
+	return KSResult{D: d, P: p, Significant: p < 0.05}, nil
+}
+
+// ksProb evaluates the Kolmogorov Q function.
+func ksProb(lambda float64) float64 {
+	if lambda <= 0 {
+		return 1
+	}
+	var sum float64
+	for k := 1; k <= 100; k++ {
+		term := 2 * math.Pow(-1, float64(k-1)) * math.Exp(-2*float64(k*k)*lambda*lambda)
+		sum += term
+		if math.Abs(term) < 1e-12 {
+			break
+		}
+	}
+	if sum < 0 {
+		return 0
+	}
+	if sum > 1 {
+		return 1
+	}
+	return sum
+}
+
+// MarkovChain is a first-order discrete Markov model over integer states.
+type MarkovChain struct {
+	n      int
+	counts [][]float64
+}
+
+// NewMarkovChain creates a chain with n states.
+func NewMarkovChain(n int) *MarkovChain {
+	m := &MarkovChain{n: n, counts: make([][]float64, n)}
+	for i := range m.counts {
+		m.counts[i] = make([]float64, n)
+	}
+	return m
+}
+
+// FitMarkov builds a chain from a state sequence with n states.
+func FitMarkov(seq []int, n int) *MarkovChain {
+	m := NewMarkovChain(n)
+	for i := 1; i < len(seq); i++ {
+		m.Observe(seq[i-1], seq[i])
+	}
+	return m
+}
+
+// Observe records a transition.
+func (m *MarkovChain) Observe(from, to int) {
+	if from >= 0 && from < m.n && to >= 0 && to < m.n {
+		m.counts[from][to]++
+	}
+}
+
+// Prob returns P(to | from).
+func (m *MarkovChain) Prob(from, to int) float64 {
+	if from < 0 || from >= m.n || to < 0 || to >= m.n {
+		return 0
+	}
+	var row float64
+	for _, c := range m.counts[from] {
+		row += c
+	}
+	if row == 0 {
+		return 0
+	}
+	return m.counts[from][to] / row
+}
+
+// Predict returns the most likely next state after from (-1 if the state
+// was never observed).
+func (m *MarkovChain) Predict(from int) int {
+	if from < 0 || from >= m.n {
+		return -1
+	}
+	best, bestC := -1, 0.0
+	for to, c := range m.counts[from] {
+		if c > bestC {
+			best, bestC = to, c
+		}
+	}
+	return best
+}
+
+// Stationary estimates the stationary distribution by power iteration.
+func (m *MarkovChain) Stationary(iters int) []float64 {
+	pi := make([]float64, m.n)
+	for i := range pi {
+		pi[i] = 1 / float64(m.n)
+	}
+	next := make([]float64, m.n)
+	for it := 0; it < iters; it++ {
+		for j := range next {
+			next[j] = 0
+		}
+		for i := 0; i < m.n; i++ {
+			for j := 0; j < m.n; j++ {
+				next[j] += pi[i] * m.Prob(i, j)
+			}
+		}
+		var s float64
+		for _, v := range next {
+			s += v
+		}
+		if s == 0 {
+			return pi
+		}
+		for j := range next {
+			next[j] /= s
+		}
+		pi, next = next, pi
+	}
+	return pi
+}

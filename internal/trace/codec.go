@@ -1,0 +1,245 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"pioeval/internal/des"
+)
+
+// Binary trace format:
+//
+//	magic "PIOT" | version u16 | record count u64
+//	string table: count u32, then len-prefixed strings
+//	records: rank varint | layer u8 | opIdx varint | pathIdx varint |
+//	         offset varint | size varint | start varint | end varint
+//
+// Strings (op names, paths) are interned in the table, which is what makes
+// the binary form compact for the highly repetitive traces HPC apps emit.
+
+const (
+	binMagic   = "PIOT"
+	binVersion = 1
+)
+
+func toTime(v int64) des.Time { return des.Time(v) }
+
+// WriteBinary encodes recs to w in the compact binary trace format.
+func WriteBinary(w io.Writer, recs []Record) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binMagic); err != nil {
+		return err
+	}
+	var hdr [10]byte
+	binary.LittleEndian.PutUint16(hdr[0:2], binVersion)
+	binary.LittleEndian.PutUint64(hdr[2:10], uint64(len(recs)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+
+	// Build the string table.
+	index := map[string]uint64{}
+	var table []string
+	intern := func(s string) uint64 {
+		if i, ok := index[s]; ok {
+			return i
+		}
+		i := uint64(len(table))
+		index[s] = i
+		table = append(table, s)
+		return i
+	}
+	type encRec struct{ op, path uint64 }
+	enc := make([]encRec, len(recs))
+	for i, r := range recs {
+		enc[i] = encRec{intern(r.Op), intern(r.Path)}
+	}
+
+	var buf [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	putVarint := func(v int64) error {
+		n := binary.PutVarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+
+	if err := putUvarint(uint64(len(table))); err != nil {
+		return err
+	}
+	for _, s := range table {
+		if err := putUvarint(uint64(len(s))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(s); err != nil {
+			return err
+		}
+	}
+	for i, r := range recs {
+		if err := putVarint(int64(r.Rank)); err != nil {
+			return err
+		}
+		if err := bw.WriteByte(byte(r.Layer)); err != nil {
+			return err
+		}
+		if err := putUvarint(enc[i].op); err != nil {
+			return err
+		}
+		if err := putUvarint(enc[i].path); err != nil {
+			return err
+		}
+		if err := putVarint(r.Offset); err != nil {
+			return err
+		}
+		if err := putVarint(r.Size); err != nil {
+			return err
+		}
+		if err := putVarint(int64(r.Start)); err != nil {
+			return err
+		}
+		if err := putVarint(int64(r.End)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary decodes a binary trace written by WriteBinary.
+func ReadBinary(r io.Reader) ([]Record, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, err
+	}
+	if string(magic) != binMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	hdr := make([]byte, 10)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, err
+	}
+	if v := binary.LittleEndian.Uint16(hdr[0:2]); v != binVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", v)
+	}
+	count := binary.LittleEndian.Uint64(hdr[2:10])
+
+	nstr, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	table := make([]string, nstr)
+	for i := range table {
+		l, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		b := make([]byte, l)
+		if _, err := io.ReadFull(br, b); err != nil {
+			return nil, err
+		}
+		table[i] = string(b)
+	}
+	lookup := func(i uint64) (string, error) {
+		if i >= uint64(len(table)) {
+			return "", fmt.Errorf("trace: string index %d out of range", i)
+		}
+		return table[i], nil
+	}
+
+	recs := make([]Record, 0, count)
+	for n := uint64(0); n < count; n++ {
+		var rec Record
+		rank, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, err
+		}
+		rec.Rank = int(rank)
+		layer, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		rec.Layer = Layer(layer)
+		opIdx, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		if rec.Op, err = lookup(opIdx); err != nil {
+			return nil, err
+		}
+		pathIdx, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		if rec.Path, err = lookup(pathIdx); err != nil {
+			return nil, err
+		}
+		if rec.Offset, err = binary.ReadVarint(br); err != nil {
+			return nil, err
+		}
+		if rec.Size, err = binary.ReadVarint(br); err != nil {
+			return nil, err
+		}
+		s, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, err
+		}
+		e2, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, err
+		}
+		rec.Start, rec.End = toTime(s), toTime(e2)
+		recs = append(recs, rec)
+	}
+	return recs, nil
+}
+
+// jsonRecord mirrors Record with friendly field names for the JSON codec.
+type jsonRecord struct {
+	Rank   int    `json:"rank"`
+	Layer  string `json:"layer"`
+	Op     string `json:"op"`
+	Path   string `json:"path,omitempty"`
+	Offset int64  `json:"offset"`
+	Size   int64  `json:"size"`
+	Start  int64  `json:"start_ns"`
+	End    int64  `json:"end_ns"`
+}
+
+// WriteJSON encodes recs as a JSON array (one record per element).
+func WriteJSON(w io.Writer, recs []Record) error {
+	out := make([]jsonRecord, len(recs))
+	for i, r := range recs {
+		out[i] = jsonRecord{
+			Rank: r.Rank, Layer: r.Layer.String(), Op: r.Op, Path: r.Path,
+			Offset: r.Offset, Size: r.Size, Start: int64(r.Start), End: int64(r.End),
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// ReadJSON decodes a JSON trace written by WriteJSON.
+func ReadJSON(r io.Reader) ([]Record, error) {
+	var in []jsonRecord
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, err
+	}
+	recs := make([]Record, len(in))
+	for i, jr := range in {
+		layer, err := ParseLayer(jr.Layer)
+		if err != nil {
+			return nil, err
+		}
+		recs[i] = Record{
+			Rank: jr.Rank, Layer: layer, Op: jr.Op, Path: jr.Path,
+			Offset: jr.Offset, Size: jr.Size, Start: toTime(jr.Start), End: toTime(jr.End),
+		}
+	}
+	return recs, nil
+}

@@ -1,0 +1,139 @@
+package workload
+
+import (
+	"fmt"
+
+	"pioeval/internal/des"
+	"pioeval/internal/mpi"
+	"pioeval/internal/posixio"
+)
+
+// AnalyticsConfig models a Spark-like scan/shuffle/reduce stage pipeline:
+// a map phase of large sequential partition scans, a shuffle phase of many
+// small intermediate files (the metadata- and small-I/O-heavy part that
+// distinguishes analytics from simulation I/O), and a reduce phase reading
+// them back.
+type AnalyticsConfig struct {
+	Workers       int
+	PartitionSize int64 // input partition per worker
+	ScanChunk     int64
+	ShuffleFiles  int   // intermediate files per worker pair bucket
+	ShuffleSize   int64 // bytes per intermediate file
+	Path          string
+}
+
+func (c AnalyticsConfig) withDefaults() AnalyticsConfig {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.PartitionSize <= 0 {
+		c.PartitionSize = 64 << 20
+	}
+	if c.ScanChunk <= 0 {
+		c.ScanChunk = 8 << 20
+	}
+	if c.ShuffleFiles <= 0 {
+		c.ShuffleFiles = 16
+	}
+	if c.ShuffleSize <= 0 {
+		c.ShuffleSize = 64 << 10
+	}
+	if c.Path == "" {
+		c.Path = "/analytics"
+	}
+	return c
+}
+
+// AnalyticsReport summarizes the pipeline.
+type AnalyticsReport struct {
+	Config      AnalyticsConfig
+	ScanTime    des.Time
+	ShuffleTime des.Time
+	ReduceTime  des.Time
+	BytesRead   int64
+	BytesWrit   int64
+	MetaOps     int
+	Makespan    des.Time
+}
+
+// RunAnalytics executes the scan/shuffle/reduce pipeline.
+func RunAnalytics(h *Harness, cfg AnalyticsConfig) AnalyticsReport {
+	cfg = cfg.withDefaults()
+	rep := AnalyticsReport{Config: cfg}
+	var scanEnd, shufEnd des.Time
+
+	end := h.Run(func(r *mpi.Rank, env *posixio.Env) {
+		p := r.Proc()
+		if r.ID() == 0 {
+			_ = env.Mkdir(p, cfg.Path)
+			_ = env.Mkdir(p, cfg.Path+"/input")
+			_ = env.Mkdir(p, cfg.Path+"/shuffle")
+			rep.MetaOps += 3
+		}
+		r.Barrier()
+
+		// Stage the input partition (not timed as scan).
+		in := fmt.Sprintf("%s/input/part%d", cfg.Path, r.ID())
+		fd, _ := env.Open(p, in, posixio.OCreate)
+		_, _ = env.Pwrite(p, fd, 0, cfg.PartitionSize)
+		_ = env.Close(p, fd)
+		r.Barrier()
+
+		// Map phase: sequential scan.
+		t0 := r.Now()
+		fd, _ = env.Open(p, in, 0)
+		for off := int64(0); off < cfg.PartitionSize; off += cfg.ScanChunk {
+			n := cfg.ScanChunk
+			if off+n > cfg.PartitionSize {
+				n = cfg.PartitionSize - off
+			}
+			_, _ = env.Pread(p, fd, off, n)
+			rep.BytesRead += n
+		}
+		_ = env.Close(p, fd)
+		r.Barrier()
+		if r.ID() == 0 {
+			scanEnd = r.Now() - t0
+		}
+
+		// Shuffle phase: many small intermediate files.
+		t1 := r.Now()
+		for b := 0; b < cfg.ShuffleFiles; b++ {
+			path := fmt.Sprintf("%s/shuffle/w%d.b%d", cfg.Path, r.ID(), b)
+			sfd, _ := env.Open(p, path, posixio.OCreate)
+			_, _ = env.Pwrite(p, sfd, 0, cfg.ShuffleSize)
+			_ = env.Close(p, sfd)
+			rep.BytesWrit += cfg.ShuffleSize
+			rep.MetaOps += 3 // open/create + close + later unlink
+		}
+		r.Barrier()
+		if r.ID() == 0 {
+			shufEnd = r.Now() - t1
+		}
+
+		// Reduce phase: each worker reads its bucket from every worker.
+		t2 := r.Now()
+		myBucket := r.ID() % cfg.ShuffleFiles
+		for w := 0; w < r.Size(); w++ {
+			path := fmt.Sprintf("%s/shuffle/w%d.b%d", cfg.Path, w, myBucket)
+			if _, err := env.Stat(p, path); err != nil {
+				continue
+			}
+			sfd, err := env.Open(p, path, 0)
+			if err != nil {
+				continue
+			}
+			_, _ = env.Pread(p, sfd, 0, cfg.ShuffleSize)
+			rep.BytesRead += cfg.ShuffleSize
+			_ = env.Close(p, sfd)
+		}
+		r.Barrier()
+		if r.ID() == 0 {
+			rep.ReduceTime = r.Now() - t2
+		}
+	})
+	rep.Makespan = end
+	rep.ScanTime = scanEnd
+	rep.ShuffleTime = shufEnd
+	return rep
+}

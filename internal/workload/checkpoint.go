@@ -1,0 +1,140 @@
+package workload
+
+import (
+	"fmt"
+
+	"pioeval/internal/burstbuffer"
+	"pioeval/internal/des"
+	"pioeval/internal/mpi"
+	"pioeval/internal/posixio"
+)
+
+// CheckpointConfig models a HACC-IO-like bulk-synchronous checkpoint
+// cycle: compute for a while, then every rank dumps its particle state.
+type CheckpointConfig struct {
+	Ranks        int
+	BytesPerRank int64
+	Steps        int
+	ComputeTime  des.Time // per step, before the checkpoint
+	TransferSize int64
+	SharedFile   bool
+	// ReuseFile overwrites the same checkpoint file every step (in-place
+	// checkpointing) instead of writing a new file per step.
+	ReuseFile bool
+	Path      string
+	// Buffer, when non-nil, routes checkpoint writes through a burst
+	// buffer instead of directly to the PFS (the Figure-1 experiment).
+	Buffer *burstbuffer.Buffer
+}
+
+func (c CheckpointConfig) withDefaults() CheckpointConfig {
+	if c.Ranks <= 0 {
+		c.Ranks = 4
+	}
+	if c.BytesPerRank <= 0 {
+		c.BytesPerRank = 16 << 20
+	}
+	if c.Steps <= 0 {
+		c.Steps = 4
+	}
+	if c.TransferSize <= 0 {
+		c.TransferSize = 4 << 20
+	}
+	if c.Path == "" {
+		c.Path = "/ckpt"
+	}
+	return c
+}
+
+// CheckpointReport summarizes the run.
+type CheckpointReport struct {
+	Config CheckpointConfig
+	// StepIOTime is the application-perceived checkpoint duration of each
+	// step (max over ranks).
+	StepIOTime []des.Time
+	// EffectiveMBps is total checkpoint bytes / total perceived I/O time.
+	EffectiveMBps float64
+	TotalBytes    int64
+	Makespan      des.Time
+	// IOFraction is perceived I/O time / (I/O + compute) per rank, averaged.
+	IOFraction float64
+}
+
+// RunCheckpoint executes the checkpoint workload.
+func RunCheckpoint(h *Harness, cfg CheckpointConfig) CheckpointReport {
+	cfg = cfg.withDefaults()
+	rep := CheckpointReport{Config: cfg, StepIOTime: make([]des.Time, cfg.Steps)}
+	rep.TotalBytes = cfg.BytesPerRank * int64(cfg.Ranks) * int64(cfg.Steps)
+	stepStart := make([]des.Time, cfg.Steps)
+	var ioTimeSum des.Time
+
+	end := h.Run(func(r *mpi.Rank, env *posixio.Env) {
+		p := r.Proc()
+		for step := 0; step < cfg.Steps; step++ {
+			if cfg.ComputeTime > 0 {
+				r.Compute(cfg.ComputeTime)
+			}
+			r.Barrier()
+			if r.ID() == 0 {
+				stepStart[step] = r.Now()
+			}
+			t0 := r.Now()
+			path := cfg.Path
+			if !cfg.ReuseFile {
+				path = fmt.Sprintf("%s.step%d", cfg.Path, step)
+			}
+			if !cfg.SharedFile {
+				path = fmt.Sprintf("%s.%d", path, r.ID())
+			}
+			base := int64(0)
+			if cfg.SharedFile {
+				base = int64(r.ID()) * cfg.BytesPerRank
+			}
+			if cfg.Buffer != nil {
+				for off := int64(0); off < cfg.BytesPerRank; off += cfg.TransferSize {
+					n := cfg.TransferSize
+					if off+n > cfg.BytesPerRank {
+						n = cfg.BytesPerRank - off
+					}
+					cfg.Buffer.Write(p, path, base+off, n)
+				}
+			} else {
+				fd, _ := env.Open(p, path, posixio.OCreate)
+				for off := int64(0); off < cfg.BytesPerRank; off += cfg.TransferSize {
+					n := cfg.TransferSize
+					if off+n > cfg.BytesPerRank {
+						n = cfg.BytesPerRank - off
+					}
+					_, _ = env.Pwrite(p, fd, base+off, n)
+				}
+				_ = env.Fsync(p, fd)
+				_ = env.Close(p, fd)
+			}
+			ioTimeSum += r.Now() - t0
+			r.Barrier()
+			if r.ID() == 0 {
+				rep.StepIOTime[step] = r.Now() - stepStart[step]
+			}
+		}
+		// Drain the burst buffer after the last step so the simulation
+		// terminates cleanly; the drain is not part of perceived I/O time.
+		if cfg.Buffer != nil {
+			r.Barrier()
+			if r.ID() == 0 {
+				cfg.Buffer.WaitDrained(p)
+				cfg.Buffer.Shutdown()
+			}
+		}
+	})
+	rep.Makespan = end
+	var totalIO des.Time
+	for _, d := range rep.StepIOTime {
+		totalIO += d
+	}
+	rep.EffectiveMBps = bwMBps(rep.TotalBytes, totalIO)
+	perRankTotal := des.Time(cfg.Steps) * cfg.ComputeTime * des.Time(cfg.Ranks)
+	if denom := ioTimeSum + perRankTotal; denom > 0 {
+		rep.IOFraction = float64(ioTimeSum) / float64(denom)
+	}
+	return rep
+}

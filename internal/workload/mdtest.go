@@ -1,0 +1,126 @@
+package workload
+
+import (
+	"fmt"
+
+	"pioeval/internal/des"
+	"pioeval/internal/mpi"
+	"pioeval/internal/posixio"
+)
+
+// MDTestConfig mirrors the mdtest parameter space: per-rank file
+// create/stat/remove in private directories.
+type MDTestConfig struct {
+	Ranks        int
+	FilesPerRank int
+	// WriteBytes, when > 0, writes that many bytes into each created file
+	// (mdtest -w).
+	WriteBytes int64
+	// Depth nests each rank's files under a directory chain of this depth
+	// (mdtest -z), adding per-level mkdir/rmdir load.
+	Depth    int
+	BasePath string
+}
+
+func (c MDTestConfig) withDefaults() MDTestConfig {
+	if c.Ranks <= 0 {
+		c.Ranks = 4
+	}
+	if c.FilesPerRank <= 0 {
+		c.FilesPerRank = 64
+	}
+	if c.BasePath == "" {
+		c.BasePath = "/mdtest"
+	}
+	return c
+}
+
+// MDTestReport mirrors mdtest's ops/sec summary.
+type MDTestReport struct {
+	Config      MDTestConfig
+	CreateTime  des.Time
+	StatTime    des.Time
+	RemoveTime  des.Time
+	CreatesPerS float64
+	StatsPerS   float64
+	RemovesPerS float64
+	TotalFiles  int
+	Makespan    des.Time
+}
+
+// RunMDTest executes the metadata-stress workload.
+func RunMDTest(h *Harness, cfg MDTestConfig) MDTestReport {
+	cfg = cfg.withDefaults()
+	rep := MDTestReport{Config: cfg, TotalFiles: cfg.Ranks * cfg.FilesPerRank}
+	var cStart, cEnd, sStart, sEnd, rStart, rEnd des.Time
+
+	end := h.Run(func(r *mpi.Rank, env *posixio.Env) {
+		p := r.Proc()
+		dir := fmt.Sprintf("%s/rank%d", cfg.BasePath, r.ID())
+		if r.ID() == 0 {
+			_ = env.Mkdir(p, cfg.BasePath)
+		}
+		r.Barrier()
+		_ = env.Mkdir(p, dir)
+		// Optional nested tree (mdtest -z).
+		var levels []string
+		for d := 0; d < cfg.Depth; d++ {
+			dir = fmt.Sprintf("%s/d%d", dir, d)
+			_ = env.Mkdir(p, dir)
+			levels = append(levels, dir)
+		}
+
+		// Create phase.
+		r.Barrier()
+		if r.ID() == 0 {
+			cStart = r.Now()
+		}
+		for i := 0; i < cfg.FilesPerRank; i++ {
+			path := fmt.Sprintf("%s/f%d", dir, i)
+			fd, err := env.Open(p, path, posixio.OCreate|posixio.OExcl)
+			if err != nil {
+				continue
+			}
+			if cfg.WriteBytes > 0 {
+				_, _ = env.Write(p, fd, cfg.WriteBytes)
+			}
+			_ = env.Close(p, fd)
+		}
+		r.Barrier()
+		if r.ID() == 0 {
+			cEnd = r.Now()
+			sStart = cEnd
+		}
+
+		// Stat phase.
+		for i := 0; i < cfg.FilesPerRank; i++ {
+			_, _ = env.Stat(p, fmt.Sprintf("%s/f%d", dir, i))
+		}
+		r.Barrier()
+		if r.ID() == 0 {
+			sEnd = r.Now()
+			rStart = sEnd
+		}
+
+		// Remove phase.
+		for i := 0; i < cfg.FilesPerRank; i++ {
+			_ = env.Unlink(p, fmt.Sprintf("%s/f%d", dir, i))
+		}
+		for d := len(levels) - 1; d >= 0; d-- {
+			_ = env.Rmdir(p, levels[d])
+		}
+		_ = env.Rmdir(p, fmt.Sprintf("%s/rank%d", cfg.BasePath, r.ID()))
+		r.Barrier()
+		if r.ID() == 0 {
+			rEnd = r.Now()
+		}
+	})
+	rep.Makespan = end
+	rep.CreateTime = cEnd - cStart
+	rep.StatTime = sEnd - sStart
+	rep.RemoveTime = rEnd - rStart
+	rep.CreatesPerS = opsPerSec(rep.TotalFiles, rep.CreateTime)
+	rep.StatsPerS = opsPerSec(rep.TotalFiles, rep.StatTime)
+	rep.RemovesPerS = opsPerSec(rep.TotalFiles, rep.RemoveTime)
+	return rep
+}

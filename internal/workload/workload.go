@@ -1,0 +1,69 @@
+// Package workload implements the synthetic and application workload
+// generators the paper's taxonomy names: IOR-like parameterized bulk I/O,
+// mdtest-like metadata stress, HACC-IO-like checkpoint phases, DLIO-like
+// deep-learning training input pipelines, analytics scan/shuffle patterns,
+// and data-intensive workflow DAGs. Every generator runs against the
+// simulated file system and reports the metrics the corresponding real
+// benchmark prints.
+package workload
+
+import (
+	"fmt"
+
+	"pioeval/internal/des"
+	"pioeval/internal/mpi"
+	"pioeval/internal/pfs"
+	"pioeval/internal/posixio"
+	"pioeval/internal/trace"
+)
+
+// Harness bundles the per-rank environments a generator needs.
+type Harness struct {
+	Eng   *des.Engine
+	FS    *pfs.FS
+	World *mpi.World
+	Envs  []*posixio.Env
+	Col   *trace.Collector
+}
+
+// NewHarness creates ranks clients named <prefix>N with a shared collector
+// (col may be nil to disable tracing).
+func NewHarness(e *des.Engine, fs *pfs.FS, ranks int, prefix string, col *trace.Collector) *Harness {
+	h := &Harness{
+		Eng: e, FS: fs,
+		World: mpi.NewWorld(e, ranks, mpi.DefaultOptions()),
+		Col:   col,
+	}
+	for i := 0; i < ranks; i++ {
+		h.Envs = append(h.Envs, posixio.NewEnv(fs.NewClient(fmt.Sprintf("%s%d", prefix, i)), i, col))
+	}
+	return h
+}
+
+// Run spawns fn per rank and drives the engine to completion, returning
+// the makespan. It panics on simulated deadlock, which always indicates a
+// generator bug.
+func (h *Harness) Run(fn func(r *mpi.Rank, env *posixio.Env)) des.Time {
+	h.World.Spawn(func(r *mpi.Rank) { fn(r, h.Envs[r.ID()]) })
+	end := h.Eng.Run(des.MaxTime)
+	if h.Eng.LiveProcs() != 0 {
+		panic(fmt.Sprintf("workload: deadlock with %d live procs", h.Eng.LiveProcs()))
+	}
+	return end
+}
+
+// bwMBps converts bytes over a duration to MB/s.
+func bwMBps(bytes int64, d des.Time) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(bytes) / 1e6 / d.Seconds()
+}
+
+// opsPerSec converts an op count over a duration to ops/s.
+func opsPerSec(n int, d des.Time) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(n) / d.Seconds()
+}

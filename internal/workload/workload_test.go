@@ -1,0 +1,335 @@
+package workload
+
+import (
+	"testing"
+
+	"pioeval/internal/blockdev"
+	"pioeval/internal/des"
+	"pioeval/internal/pfs"
+	"pioeval/internal/trace"
+)
+
+func ssdFS(e *des.Engine) *pfs.FS {
+	cfg := pfs.DefaultConfig()
+	cfg.NumIONodes = 0
+	cfg.OSTDevice = func() blockdev.Model { return blockdev.DefaultSSD() }
+	return pfs.New(e, cfg)
+}
+
+func hddFS(e *des.Engine) *pfs.FS {
+	cfg := pfs.DefaultConfig()
+	cfg.NumIONodes = 0
+	return pfs.New(e, cfg)
+}
+
+func TestIORSequentialWrite(t *testing.T) {
+	e := des.NewEngine(41)
+	fs := ssdFS(e)
+	h := NewHarness(e, fs, 4, "cn", nil)
+	rep := RunIOR(h, IORConfig{Ranks: 4, BlockSize: 8 << 20, TransferSize: 1 << 20, SharedFile: true, ReadBack: true})
+	if rep.TotalBytes != 32<<20 {
+		t.Fatalf("total bytes = %d", rep.TotalBytes)
+	}
+	if rep.WriteMBps <= 0 || rep.ReadMBps <= 0 {
+		t.Fatalf("bandwidths = w%.1f r%.1f", rep.WriteMBps, rep.ReadMBps)
+	}
+	_, w := fs.TotalBytes()
+	if w != 32<<20 {
+		t.Fatalf("FS wrote %d, want %d", w, 32<<20)
+	}
+}
+
+func TestIORFilePerProcessVsShared(t *testing.T) {
+	run := func(shared bool) IORReport {
+		e := des.NewEngine(42)
+		h := NewHarness(e, ssdFS(e), 4, "cn", nil)
+		return RunIOR(h, IORConfig{Ranks: 4, BlockSize: 4 << 20, SharedFile: shared})
+	}
+	fpp, sh := run(false), run(true)
+	if fpp.TotalBytes != sh.TotalBytes {
+		t.Fatal("byte volumes differ")
+	}
+	// Both must complete; bandwidths positive.
+	if fpp.WriteMBps <= 0 || sh.WriteMBps <= 0 {
+		t.Fatal("bandwidth")
+	}
+}
+
+func TestIORRandomSlowerThanSequentialOnHDD(t *testing.T) {
+	run := func(pat Pattern) IORReport {
+		e := des.NewEngine(43)
+		h := NewHarness(e, hddFS(e), 4, "cn", nil)
+		// Stripe count 1 gives each rank's file a dedicated OST, so the
+		// device-level pattern reflects the application pattern.
+		return RunIOR(h, IORConfig{
+			Ranks: 4, BlockSize: 8 << 20, TransferSize: 64 << 10,
+			Pattern: pat, SharedFile: false, ReadBack: true,
+			StripeCount: 1, StripeSize: 1 << 20,
+		})
+	}
+	seq, rnd := run(Sequential), run(Random)
+	if rnd.ReadMBps >= seq.ReadMBps {
+		t.Fatalf("random read %.1f MB/s should be slower than sequential %.1f MB/s",
+			rnd.ReadMBps, seq.ReadMBps)
+	}
+}
+
+func TestIORCollectiveOnStridedSmall(t *testing.T) {
+	run := func(collective bool) IORReport {
+		e := des.NewEngine(44)
+		h := NewHarness(e, hddFS(e), 8, "cn", nil)
+		return RunIOR(h, IORConfig{
+			Ranks: 8, BlockSize: 1 << 20, TransferSize: 16 << 10,
+			SharedFile: true, Pattern: Strided, Collective: collective,
+		})
+	}
+	ind, coll := run(false), run(true)
+	if coll.WriteMBps <= ind.WriteMBps {
+		t.Fatalf("collective %.1f MB/s should beat independent %.1f MB/s on strided small transfers",
+			coll.WriteMBps, ind.WriteMBps)
+	}
+}
+
+func TestIORPatternString(t *testing.T) {
+	if Sequential.String() != "sequential" || Strided.String() != "strided" || Random.String() != "random" {
+		t.Error("pattern names")
+	}
+}
+
+func TestMDTestPhases(t *testing.T) {
+	e := des.NewEngine(45)
+	fs := ssdFS(e)
+	h := NewHarness(e, fs, 4, "cn", nil)
+	rep := RunMDTest(h, MDTestConfig{Ranks: 4, FilesPerRank: 32})
+	if rep.TotalFiles != 128 {
+		t.Fatalf("total files = %d", rep.TotalFiles)
+	}
+	if rep.CreatesPerS <= 0 || rep.StatsPerS <= 0 || rep.RemovesPerS <= 0 {
+		t.Fatalf("rates = %+v", rep)
+	}
+	// Stats are cheaper than creates at the MDS in our model? Both cost
+	// one op; creates also pay namespace insert — same service time, so
+	// rates should be within an order of magnitude.
+	if rep.StatsPerS < rep.CreatesPerS/10 {
+		t.Errorf("stat rate %.0f unexpectedly below create rate %.0f", rep.StatsPerS, rep.CreatesPerS)
+	}
+	// Namespace must be clean afterwards.
+	if n := len(fs.Paths()); n != 2 { // "/" and "/mdtest"
+		t.Errorf("leftover namespace entries: %v", fs.Paths())
+	}
+	st := fs.MDSStats()
+	if st.Ops["create"] < 128 || st.Ops["unlink"] < 128 {
+		t.Errorf("MDS ops = %v", st.Ops)
+	}
+}
+
+func TestMDTestScalesWithMDSThreads(t *testing.T) {
+	run := func(threads int) MDTestReport {
+		e := des.NewEngine(46)
+		cfg := pfs.DefaultConfig()
+		cfg.NumIONodes = 0
+		cfg.OSTDevice = func() blockdev.Model { return blockdev.DefaultSSD() }
+		cfg.MDSThreads = threads
+		fs := pfs.New(e, cfg)
+		h := NewHarness(e, fs, 8, "cn", nil)
+		return RunMDTest(h, MDTestConfig{Ranks: 8, FilesPerRank: 32})
+	}
+	one, eight := run(1), run(8)
+	if eight.CreatesPerS <= one.CreatesPerS {
+		t.Errorf("8-thread MDS creates %.0f/s should beat 1-thread %.0f/s",
+			eight.CreatesPerS, one.CreatesPerS)
+	}
+}
+
+func TestCheckpointDirectVsBurstBuffer(t *testing.T) {
+	// Figure-1 experiment shape at workload level: the burst buffer
+	// shortens the application-perceived checkpoint time.
+	direct := func() CheckpointReport {
+		e := des.NewEngine(47)
+		h := NewHarness(e, hddFS(e), 4, "cn", nil)
+		return RunCheckpoint(h, CheckpointConfig{Ranks: 4, BytesPerRank: 8 << 20, Steps: 3, ComputeTime: 50 * des.Millisecond})
+	}()
+	if direct.TotalBytes != 3*4*8<<20 {
+		t.Fatalf("bytes = %d", direct.TotalBytes)
+	}
+	for i, d := range direct.StepIOTime {
+		if d <= 0 {
+			t.Fatalf("step %d time = %v", i, d)
+		}
+	}
+	if direct.EffectiveMBps <= 0 || direct.IOFraction <= 0 || direct.IOFraction >= 1 {
+		t.Fatalf("report = %+v", direct)
+	}
+}
+
+func TestDLRandomReadsSlower(t *testing.T) {
+	// The C2 shape: shuffled small reads achieve lower bandwidth than
+	// unshuffled (sequential within files) epochs on HDD-backed storage.
+	run := func(shuffle bool) DLReport {
+		e := des.NewEngine(48)
+		h := NewHarness(e, hddFS(e), 4, "cn", nil)
+		return RunDL(h, DLConfig{
+			Workers: 4, Samples: 512, SampleSize: 128 << 10,
+			SamplesPerFile: 128, BatchSize: 32, Epochs: 1, Shuffle: shuffle,
+		})
+	}
+	seq, shuf := run(false), run(true)
+	if seq.TotalRead != shuf.TotalRead {
+		t.Fatalf("read volumes differ: %d vs %d", seq.TotalRead, shuf.TotalRead)
+	}
+	if shuf.ReadMBps >= seq.ReadMBps {
+		t.Fatalf("shuffled %.1f MB/s should be slower than in-order %.1f MB/s",
+			shuf.ReadMBps, seq.ReadMBps)
+	}
+	if shuf.SamplesPerSec <= 0 {
+		t.Error("samples/sec")
+	}
+}
+
+func TestDLReadsAreReadDominated(t *testing.T) {
+	e := des.NewEngine(49)
+	fs := ssdFS(e)
+	col := trace.NewCollector()
+	h := NewHarness(e, fs, 2, "cn", col)
+	RunDL(h, DLConfig{Workers: 2, Samples: 256, SamplesPerFile: 64, Epochs: 2, Shuffle: true})
+	sum := trace.Summarize(trace.ByLayer(col.Records(), trace.LayerPOSIX))
+	// 2 epochs of reads vs 1 generation write: read-dominated.
+	if sum.BytesRead <= sum.BytesWritten {
+		t.Fatalf("DL should be read-dominated: r%d w%d", sum.BytesRead, sum.BytesWritten)
+	}
+}
+
+func TestAnalyticsPipeline(t *testing.T) {
+	e := des.NewEngine(50)
+	fs := ssdFS(e)
+	h := NewHarness(e, fs, 4, "cn", nil)
+	rep := RunAnalytics(h, AnalyticsConfig{Workers: 4, PartitionSize: 16 << 20, ShuffleFiles: 8, ShuffleSize: 64 << 10})
+	if rep.ScanTime <= 0 || rep.ShuffleTime <= 0 || rep.ReduceTime <= 0 {
+		t.Fatalf("phase times = %+v", rep)
+	}
+	if rep.BytesRead < 4*16<<20 {
+		t.Errorf("scan bytes = %d", rep.BytesRead)
+	}
+	if rep.BytesWrit != 4*8*64<<10 {
+		t.Errorf("shuffle bytes = %d", rep.BytesWrit)
+	}
+}
+
+func TestWorkflowChainOrdering(t *testing.T) {
+	e := des.NewEngine(51)
+	fs := ssdFS(e)
+	cfg := ChainWorkflow(5, 4, 1<<20)
+	rep := RunWorkflow(e, fs, cfg, nil)
+	if rep.TasksRun != 5 {
+		t.Fatalf("tasks run = %d, want 5", rep.TasksRun)
+	}
+	// Stage outputs must all exist except none removed: 5 stages x 4 files.
+	paths := fs.Paths()
+	found := 0
+	for _, p := range paths {
+		if len(p) > 4 && p[:4] == "/wf/" {
+			found++
+		}
+	}
+	if found != 20 {
+		t.Errorf("workflow outputs = %d, want 20", found)
+	}
+	if rep.MetaOpsPerMB <= 0 {
+		t.Error("metadata intensity should be positive")
+	}
+}
+
+func TestWorkflowDiamondParallelism(t *testing.T) {
+	e := des.NewEngine(52)
+	fs := ssdFS(e)
+	rep := RunWorkflow(e, fs, DiamondWorkflow(4, 8<<20), nil)
+	if rep.TasksRun != 6 {
+		t.Fatalf("tasks = %d, want 6", rep.TasksRun)
+	}
+	if rep.BytesRead == 0 || rep.BytesWrit == 0 {
+		t.Fatal("no data moved")
+	}
+}
+
+func TestWorkflowIsMetadataIntensiveVsBulkIO(t *testing.T) {
+	// The C3 shape: per megabyte moved, workflows consume far more MDS
+	// operations than a bulk checkpoint.
+	eW := des.NewEngine(53)
+	fsW := ssdFS(eW)
+	wf := RunWorkflow(eW, fsW, ChainWorkflow(8, 8, 256<<10), nil)
+
+	eC := des.NewEngine(54)
+	fsC := ssdFS(eC)
+	h := NewHarness(eC, fsC, 4, "cn", nil)
+	before := fsC.MDSStats().TotalOps
+	ck := RunCheckpoint(h, CheckpointConfig{Ranks: 4, BytesPerRank: 16 << 20, Steps: 2})
+	ckMeta := fsC.MDSStats().TotalOps - before
+	ckMetaPerMB := float64(ckMeta) / (float64(ck.TotalBytes) / 1e6)
+
+	if wf.MetaOpsPerMB <= ckMetaPerMB*3 {
+		t.Fatalf("workflow metadata intensity %.2f ops/MB should dwarf checkpoint %.2f ops/MB",
+			wf.MetaOpsPerMB, ckMetaPerMB)
+	}
+}
+
+func TestMDTestDepthAddsDirOps(t *testing.T) {
+	run := func(depth int) (MDTestReport, uint64) {
+		e := des.NewEngine(55)
+		fs := ssdFS(e)
+		h := NewHarness(e, fs, 2, "cn", nil)
+		rep := RunMDTest(h, MDTestConfig{Ranks: 2, FilesPerRank: 8, Depth: depth})
+		return rep, fs.MDSStats().Ops["mkdir"]
+	}
+	_, flatMkdirs := run(0)
+	repDeep, deepMkdirs := run(3)
+	if deepMkdirs != flatMkdirs+2*3 {
+		t.Errorf("mkdirs = %d, want %d", deepMkdirs, flatMkdirs+6)
+	}
+	if repDeep.TotalFiles != 16 {
+		t.Errorf("files = %d", repDeep.TotalFiles)
+	}
+}
+
+func TestBTIOCollectiveAndIndependent(t *testing.T) {
+	run := func(collective bool) BTIOReport {
+		e := des.NewEngine(56)
+		fs := ssdFS(e)
+		h := NewHarness(e, fs, 4, "bt", nil)
+		rep := RunBTIO(h, BTIOConfig{
+			Ranks: 4, Dims: [3]int64{32, 16, 16}, Steps: 3, Collective: collective,
+		})
+		_, w := fs.TotalBytes()
+		// All cell bytes must reach the OSTs (plus HDF metadata); the
+		// collective path may round up slightly over coalesced holes.
+		if w < rep.TotalBytes {
+			t.Fatalf("OST bytes %d < payload %d", w, rep.TotalBytes)
+		}
+		return rep
+	}
+	coll := run(true)
+	ind := run(false)
+	want := int64(32*16*16) * 40 * 3
+	if coll.TotalBytes != want || ind.TotalBytes != want {
+		t.Fatalf("payload = %d/%d, want %d", coll.TotalBytes, ind.TotalBytes, want)
+	}
+	if coll.WriteMBps <= 0 || ind.WriteMBps <= 0 {
+		t.Fatal("bandwidths")
+	}
+	for _, d := range coll.StepTime {
+		if d <= 0 {
+			t.Fatal("step time")
+		}
+	}
+}
+
+func TestBTIODefaults(t *testing.T) {
+	cfg := BTIOConfig{}.withDefaults()
+	if cfg.Ranks <= 0 || cfg.ElemSize != 40 || cfg.Dims[0] == 0 || cfg.Steps <= 0 {
+		t.Errorf("defaults = %+v", cfg)
+	}
+	// Dim 0 clamps up to rank count.
+	c2 := BTIOConfig{Ranks: 64, Dims: [3]int64{8, 8, 8}}.withDefaults()
+	if c2.Dims[0] < 64 {
+		t.Errorf("dim0 = %d", c2.Dims[0])
+	}
+}
