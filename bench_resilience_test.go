@@ -1,0 +1,236 @@
+package pioeval_test
+
+import (
+	"reflect"
+	"testing"
+
+	"pioeval/internal/des"
+	"pioeval/internal/faults"
+	"pioeval/internal/monitor"
+	"pioeval/internal/pfs"
+	"pioeval/internal/workload"
+)
+
+// resilientCluster is the SSD deployment with the default client
+// resilience policy (timeouts, bounded retry with backoff, degraded
+// reads) and full-width striping so every rank's checkpoint touches
+// every OST — a crashed target is always on the I/O path.
+func resilientCluster() pfs.Config {
+	cfg := ssdCluster()
+	cfg.DefaultStripeCount = 8
+	cfg.Resilience = pfs.DefaultResilience()
+	return cfg
+}
+
+// ckptOutcome is everything one fault-injected checkpoint run produces,
+// for both benchmarking and determinism checks.
+type ckptOutcome struct {
+	Report   workload.CheckpointReport
+	Stats    pfs.ClientStats
+	FaultLog []pfs.FaultRecord
+	Failure  monitor.FailureReport
+}
+
+// runCrashCheckpoint executes the checkpoint-under-OST-crash scenario:
+// 4 ranks dump 4 MB each over 10 compute/checkpoint steps while OST 1
+// crashes at 300 ms and recovers at 600 ms. The crash window (300 ms) is
+// shorter than the per-RPC retry budget (~355 ms with the default
+// policy), so a resilient client rides it out with zero failed RPCs.
+func runCrashCheckpoint(seed int64, inject bool) ckptOutcome {
+	e := des.NewEngine(seed)
+	fs := pfs.New(e, resilientCluster())
+	det := monitor.NewFailureDetector(e, fs, 10*des.Millisecond, 2, 1200*des.Millisecond)
+	if inject {
+		_, err := faults.Run(e, fs, faults.Campaign{Events: []faults.Event{
+			{At: 300 * des.Millisecond, Kind: faults.OSTCrash, OST: 1},
+			{At: 600 * des.Millisecond, Kind: faults.OSTRecover, OST: 1},
+		}})
+		if err != nil {
+			panic(err)
+		}
+	}
+	h := workload.NewHarness(e, fs, 4, "cn", nil)
+	rep := workload.RunCheckpoint(h, workload.CheckpointConfig{
+		Ranks: 4, BytesPerRank: 4 << 20, Steps: 10,
+		ComputeTime: 150 * des.Millisecond, TransferSize: 1 << 20,
+		ReuseFile: true,
+	})
+	return ckptOutcome{
+		Report:   rep,
+		Stats:    fs.ClientStatsTotal(),
+		FaultLog: fs.FaultLog(),
+		Failure:  det.Report(),
+	}
+}
+
+// BenchmarkResilienceOSTCrash measures a checkpoint workload riding out
+// an OST crash/recovery window on the resilient client path. Reported
+// metrics: nominal and faulted checkpoint bandwidth, the worst step
+// stall, retry volume, and the monitor's detection/repair times.
+func BenchmarkResilienceOSTCrash(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		base := runCrashCheckpoint(501, false)
+		faulted := runCrashCheckpoint(501, true)
+		worst := des.Time(0)
+		for _, d := range faulted.Report.StepIOTime {
+			if d > worst {
+				worst = d
+			}
+		}
+		b.ReportMetric(base.Report.EffectiveMBps, "nominal_MBps")
+		b.ReportMetric(faulted.Report.EffectiveMBps, "faulted_MBps")
+		b.ReportMetric(float64(worst)/1e6, "worst_step_ms")
+		b.ReportMetric(float64(faulted.Stats.Retries), "retries")
+		b.ReportMetric(float64(faulted.Stats.FailedRPCs), "failed_rpcs")
+		b.ReportMetric(float64(faulted.Failure.MeanTTD)/1e6, "mttd_ms")
+		b.ReportMetric(float64(faulted.Failure.MeanTTR)/1e6, "mttr_ms")
+	}
+}
+
+// BenchmarkResilienceMDSBlips measures an mdtest-style metadata storm
+// through two MDS unavailability windows: creates stall during the blips
+// and the retry path absorbs them without failed operations.
+func BenchmarkResilienceMDSBlips(b *testing.B) {
+	run := func(inject bool) (workload.MDTestReport, pfs.ClientStats) {
+		e := des.NewEngine(502)
+		fs := pfs.New(e, resilientCluster())
+		if inject {
+			// Two short outages inside the ~8ms create phase; each is far
+			// below the ~355ms meta retry budget, so ops stall but succeed.
+			_, err := faults.Run(e, fs, faults.Campaign{Events: []faults.Event{
+				{At: 2 * des.Millisecond, Kind: faults.MDSDown},
+				{At: 4 * des.Millisecond, Kind: faults.MDSUp},
+				{At: 6 * des.Millisecond, Kind: faults.MDSDown},
+				{At: 7 * des.Millisecond, Kind: faults.MDSUp},
+			}})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		h := workload.NewHarness(e, fs, 4, "cn", nil)
+		rep := workload.RunMDTest(h, workload.MDTestConfig{Ranks: 4, FilesPerRank: 256})
+		return rep, fs.ClientStatsTotal()
+	}
+	for i := 0; i < b.N; i++ {
+		base, _ := run(false)
+		blip, st := run(true)
+		b.ReportMetric(base.CreatesPerS, "nominal_creates/s")
+		b.ReportMetric(blip.CreatesPerS, "blip_creates/s")
+		b.ReportMetric(float64(st.Retries), "retries")
+		b.ReportMetric(float64(st.FailedRPCs), "failed_rpcs")
+	}
+}
+
+// TestResilienceDeterminism is the acceptance check for reproducible
+// fault campaigns: two same-seed runs of the crash scenario produce
+// identical step timelines, retry counts, fault logs, and MTTR.
+func TestResilienceDeterminism(t *testing.T) {
+	a := runCrashCheckpoint(77, true)
+	b := runCrashCheckpoint(77, true)
+	if !reflect.DeepEqual(a.Report.StepIOTime, b.Report.StepIOTime) {
+		t.Errorf("step timelines diverged:\n%v\n%v", a.Report.StepIOTime, b.Report.StepIOTime)
+	}
+	if a.Stats != b.Stats {
+		t.Errorf("client stats diverged:\n%+v\n%+v", a.Stats, b.Stats)
+	}
+	if !reflect.DeepEqual(a.FaultLog, b.FaultLog) {
+		t.Errorf("fault logs diverged:\n%v\n%v", a.FaultLog, b.FaultLog)
+	}
+	if a.Failure != b.Failure {
+		t.Errorf("failure reports diverged:\n%+v\n%+v", a.Failure, b.Failure)
+	}
+	if a.Stats.Retries == 0 {
+		t.Error("crash scenario should have exercised the retry path")
+	}
+}
+
+// TestResilienceOSTCrashRecovery is the acceptance check for the crash
+// window's shape: checkpoint step time dips (stretches) while the OST is
+// down, no RPC exhausts its retry budget, no step loses data, and
+// post-recovery steps return to within 10% of nominal.
+func TestResilienceOSTCrashRecovery(t *testing.T) {
+	out := runCrashCheckpoint(501, true)
+	rep := out.Report
+	if rep.IOErrors != 0 || out.Stats.FailedRPCs != 0 {
+		t.Fatalf("crash window exceeded the retry budget: %d io errors, %d failed rpcs",
+			rep.IOErrors, out.Stats.FailedRPCs)
+	}
+	if out.Stats.Retries == 0 || out.Stats.TimedOutRPCs == 0 {
+		t.Fatalf("expected retries and RPC timeouts during the window, got %+v", out.Stats)
+	}
+	nominal := rep.StepIOTime[0] // completes before the crash at 300ms
+	worst := des.Time(0)
+	for _, d := range rep.StepIOTime {
+		if d > worst {
+			worst = d
+		}
+	}
+	if worst < 2*nominal {
+		t.Errorf("crash window should stall a step: worst %v vs nominal %v", worst, nominal)
+	}
+	// Recovery: the last three steps run long after the OST returned.
+	for i := len(rep.StepIOTime) - 3; i < len(rep.StepIOTime); i++ {
+		d := rep.StepIOTime[i]
+		if float64(d) > 1.1*float64(nominal) {
+			t.Errorf("step %d = %v, want within 10%% of nominal %v after recovery", i, d, nominal)
+		}
+	}
+	// The monitor saw exactly one incident and measured sane times.
+	if out.Failure.Incidents != 1 || out.Failure.Unresolved != 0 {
+		t.Fatalf("failure report = %+v, want one closed incident", out.Failure)
+	}
+	if out.Failure.MeanTTD <= 0 || out.Failure.MeanTTD > 20*des.Millisecond {
+		t.Errorf("MTTD = %v, want within two 10ms heartbeats", out.Failure.MeanTTD)
+	}
+	if out.Failure.MeanTTR <= 0 {
+		t.Errorf("MTTR = %v, want > 0", out.Failure.MeanTTR)
+	}
+	if len(out.FaultLog) != 2 {
+		t.Errorf("fault log = %v, want crash + recover", out.FaultLog)
+	}
+}
+
+// TestResilienceStochasticSoak drives a random crash/repair process over
+// a long metadata+data workload and checks the invariants that matter:
+// the run terminates (no deadlock), every injection applied cleanly, and
+// the client never panics — failures surface as typed errors only.
+func TestResilienceStochasticSoak(t *testing.T) {
+	e := des.NewEngine(503)
+	fs := pfs.New(e, resilientCluster())
+	sched, err := faults.Run(e, fs, faults.Campaign{
+		Name: "soak",
+		Stochastic: &faults.Stochastic{
+			MTBF: 400 * des.Millisecond, MTTR: 60 * des.Millisecond,
+			Horizon: 2 * des.Second, OSTs: []int{1, 3, 5},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := workload.NewHarness(e, fs, 4, "cn", nil)
+	rep := workload.RunCheckpoint(h, workload.CheckpointConfig{
+		Ranks: 4, BytesPerRank: 64 << 20, Steps: 12,
+		ComputeTime: 50 * des.Millisecond, TransferSize: 4 << 20,
+		ReuseFile: true,
+	})
+	if errs := sched.Errs(); len(errs) != 0 {
+		t.Errorf("injection errors: %v", errs)
+	}
+	if len(sched.Log()) == 0 {
+		t.Fatal("soak generated no fault events")
+	}
+	st := fs.ClientStatsTotal()
+	if st.Retries == 0 && st.TimedOutRPCs == 0 {
+		t.Error("soak never hit the fault windows; the scenario is too easy")
+	}
+	if rep.Makespan <= 0 {
+		t.Fatal("no makespan")
+	}
+	// Long overlapping outages may exhaust some budgets; that must show
+	// up as accounted errors, never as lost accounting.
+	if rep.IOErrors == 0 && st.FailedRPCs > 0 {
+		t.Errorf("failed RPCs (%d) must surface in the checkpoint report", st.FailedRPCs)
+	}
+	t.Logf("soak: %d fault events, stats %+v, io errors %d over %d steps",
+		len(sched.Log()), st, rep.IOErrors, len(rep.StepIOTime))
+}

@@ -9,9 +9,11 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 
 	"pioeval/internal/cli"
 	"pioeval/internal/des"
+	"pioeval/internal/faults"
 	"pioeval/internal/iolang"
 	"pioeval/internal/monitor"
 	"pioeval/internal/pfs"
@@ -24,6 +26,8 @@ func main() {
 	var cluster cli.ClusterFlags
 	cluster.Register(fs)
 	sample := fs.Bool("sample", false, "print sampled bandwidth series")
+	faultSpec := fs.String("faults", "", "fault campaign, e.g. 'ostcrash:1@100ms; ostrecover:1@700ms; mdsdown@1s; mdsup@1.5s'")
+	resilient := fs.Bool("resilient", false, "enable the default client resilience policy (timeouts, retries, degraded reads)")
 	_ = fs.Parse(os.Args[1:])
 
 	if fs.NArg() != 1 {
@@ -41,12 +45,25 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if *resilient || *faultSpec != "" {
+		cfg.Resilience = pfs.DefaultResilience()
+	}
 
 	e := des.NewEngine(cluster.Seed)
 	sim := pfs.New(e, cfg)
 	var sampler *monitor.Sampler
 	if *sample {
 		sampler = monitor.NewSampler(e, sim, 10*des.Millisecond, des.Hour)
+	}
+	var campaign *faults.Scheduler
+	if *faultSpec != "" {
+		c, err := faults.ParseCampaign(*faultSpec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if campaign, err = faults.Run(e, sim, c); err != nil {
+			log.Fatal(err)
+		}
 	}
 	rep, err := iolang.Run(e, sim, wl, nil)
 	if err != nil {
@@ -69,8 +86,27 @@ func main() {
 
 	md := sim.MDSStats()
 	fmt.Printf("\nMDS: %d ops total\n", md.TotalOps)
-	for op, n := range md.Ops {
-		fmt.Printf("  %-10s %8d\n", op, n)
+	ops := make([]string, 0, len(md.Ops))
+	for op := range md.Ops {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	for _, op := range ops {
+		fmt.Printf("  %-10s %8d\n", op, md.Ops[op])
+	}
+
+	if campaign != nil {
+		fmt.Println("\nfault campaign:")
+		for _, a := range campaign.Log() {
+			if a.Err != nil {
+				fmt.Printf("  %v (inject error: %v)\n", a.Event, a.Err)
+			} else {
+				fmt.Printf("  %v\n", a.Event)
+			}
+		}
+		cs := sim.ClientStatsTotal()
+		fmt.Printf("resilience: %d retries, %d timed-out RPCs, %d failed RPCs, %d degraded reads (%s missing)\n",
+			cs.Retries, cs.TimedOutRPCs, cs.FailedRPCs, cs.DegradedReads, cli.FormatSize(cs.BytesMissing))
 	}
 
 	if sampler != nil {

@@ -134,12 +134,15 @@ type Device struct {
 
 // SetSlowdown injects degradation: every subsequent request's service time
 // is multiplied by factor (>= 1). Factor 1 restores nominal speed. Models
-// failing media, RAID rebuilds, and straggler servers.
-func (d *Device) SetSlowdown(factor float64) {
+// failing media, RAID rebuilds, and straggler servers. Factors below 1
+// (including non-positive values, which would corrupt or invert service
+// times) are rejected with an error.
+func (d *Device) SetSlowdown(factor float64) error {
 	if factor < 1 {
-		factor = 1
+		return fmt.Errorf("blockdev: %s: slowdown factor %g invalid, must be >= 1", d.name, factor)
 	}
 	d.slowdown = factor
+	return nil
 }
 
 // Slowdown returns the current degradation factor (1 = nominal).

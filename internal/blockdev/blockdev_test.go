@@ -115,6 +115,44 @@ func TestBadRequestPanics(t *testing.T) {
 	e.Run(des.MaxTime)
 }
 
+func TestSetSlowdownValidation(t *testing.T) {
+	e := des.NewEngine(1)
+	d := NewDevice(e, "d0", DefaultSSD(), 1)
+	for _, bad := range []float64{0, -1, 0.5} {
+		if err := d.SetSlowdown(bad); err == nil {
+			t.Errorf("SetSlowdown(%g) should fail", bad)
+		}
+	}
+	if got := d.Slowdown(); got != 1 {
+		t.Errorf("rejected factors must not stick: slowdown = %g, want 1", got)
+	}
+	if err := d.SetSlowdown(3); err != nil {
+		t.Fatalf("SetSlowdown(3): %v", err)
+	}
+	if got := d.Slowdown(); got != 3 {
+		t.Errorf("slowdown = %g, want 3", got)
+	}
+	if err := d.SetSlowdown(1); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+}
+
+func TestSlowdownScalesServiceTime(t *testing.T) {
+	run := func(factor float64) des.Time {
+		e := des.NewEngine(1)
+		m := &SSDModel{ReadLatency: 10 * des.Microsecond, ReadBps: 1e18, WriteBps: 1e18}
+		d := NewDevice(e, "d0", m, 1)
+		if err := d.SetSlowdown(factor); err != nil {
+			t.Fatal(err)
+		}
+		e.Spawn("u", func(p *des.Proc) { d.Access(p, Request{Size: 1}) })
+		return e.Run(des.MaxTime)
+	}
+	if base, slow := run(1), run(5); slow != 5*base {
+		t.Errorf("slowdown 5x: %v vs base %v", slow, base)
+	}
+}
+
 // Property: HDD service time is non-decreasing in request size for fixed
 // alignment.
 func TestPropHDDMonotonicInSize(t *testing.T) {

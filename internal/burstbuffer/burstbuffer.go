@@ -85,6 +85,9 @@ type Buffer struct {
 	stalls    uint64
 	bufReads  int64
 	missReads int64
+	// drainErrors counts drain-side PFS writes that failed after the
+	// client's retry budget; the staged data is dropped (lost burst).
+	drainErrors uint64
 }
 
 // New creates a burst buffer named node (registered as a PFS compute-fabric
@@ -131,8 +134,10 @@ func (b *Buffer) drainLoop(p *des.Proc) {
 		}
 		// Read the staged data off the SSD, then push it to the PFS.
 		b.dev.Access(p, blockdev.Request{Offset: seg.off, Size: seg.size})
-		if h != nil {
-			h.Write(p, seg.off, seg.size)
+		if h == nil {
+			b.drainErrors++
+		} else if werr := h.Write(p, seg.off, seg.size); werr != nil {
+			b.drainErrors++
 		}
 		b.used -= seg.size
 		b.drained += seg.size
@@ -194,7 +199,7 @@ func (b *Buffer) Read(p *des.Proc, path string, off, size int64) {
 		}
 		b.handles[path] = h
 	}
-	h.Read(p, off, size)
+	_ = h.Read(p, off, size)
 }
 
 // WaitDrained blocks the calling process until all staged data has reached
@@ -214,6 +219,8 @@ type Stats struct {
 	Stalls    uint64
 	BufReads  int64
 	MissReads int64
+	// DrainErrors counts staged segments lost to failed PFS writebacks.
+	DrainErrors uint64
 }
 
 // Stats returns a snapshot of the buffer counters.
@@ -222,5 +229,6 @@ func (b *Buffer) Stats() Stats {
 		Absorbed: b.absorbed, Drained: b.drained, Used: b.used,
 		PeakUsed: b.peakUsed, Stalls: b.stalls,
 		BufReads: b.bufReads, MissReads: b.missReads,
+		DrainErrors: b.drainErrors,
 	}
 }

@@ -1,0 +1,28 @@
+package des
+
+// ExpBackoff computes the delay before retry attempt (0-based): base
+// doubled per attempt, capped at max (0 = uncapped), plus a uniform
+// jitter of up to jitterFrac times the backoff drawn from the named RNG
+// stream. With a seeded StreamRNG the sequence is fully deterministic, so
+// retry timelines replay exactly across runs — the property resilience
+// experiments depend on.
+func ExpBackoff(r *StreamRNG, stream string, base, max Time, attempt int, jitterFrac float64) Time {
+	if base <= 0 {
+		base = Millisecond
+	}
+	d := base
+	for i := 0; i < attempt; i++ {
+		d *= 2
+		if max > 0 && d >= max {
+			d = max
+			break
+		}
+	}
+	if max > 0 && d > max {
+		d = max
+	}
+	if jitterFrac > 0 {
+		d += Time(r.Stream(stream).Float64() * jitterFrac * float64(d))
+	}
+	return d
+}

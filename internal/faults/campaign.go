@@ -1,0 +1,85 @@
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"pioeval/internal/des"
+)
+
+// ParseCampaign parses a compact scripted-campaign spec, the format the
+// --faults command-line flag accepts. Events are semicolon-separated
+// `kind[:args]@time` terms, with times in Go duration syntax:
+//
+//	ostcrash:1@100ms        crash OST 1 at t=100ms
+//	ostrecover:1@700ms      bring OST 1 back at t=700ms
+//	slowdown:3x10@2s        degrade OST 3 by 10x at t=2s
+//	mdsdown@1s  mdsup@1.5s  MDS unavailability window
+//	transient:0.01@0s       1% transient I/O error rate from t=0
+//	linkdegrade:4@3s        4x slower network from t=3s
+func ParseCampaign(spec string) (Campaign, error) {
+	c := Campaign{Name: "scripted"}
+	for _, term := range strings.Split(spec, ";") {
+		term = strings.TrimSpace(term)
+		if term == "" {
+			continue
+		}
+		ev, err := parseEvent(term)
+		if err != nil {
+			return Campaign{}, err
+		}
+		c.Events = append(c.Events, ev)
+	}
+	if len(c.Events) == 0 {
+		return Campaign{}, fmt.Errorf("faults: empty campaign spec %q", spec)
+	}
+	return c, nil
+}
+
+func parseEvent(term string) (Event, error) {
+	head, at, ok := strings.Cut(term, "@")
+	if !ok {
+		return Event{}, fmt.Errorf("faults: event %q missing @time", term)
+	}
+	d, err := time.ParseDuration(strings.TrimSpace(at))
+	if err != nil || d < 0 {
+		return Event{}, fmt.Errorf("faults: bad event time in %q: %v", term, err)
+	}
+	ev := Event{At: des.Time(d.Nanoseconds())}
+	kind, args, _ := strings.Cut(strings.TrimSpace(head), ":")
+	switch strings.ToLower(kind) {
+	case "ostcrash":
+		ev.Kind = OSTCrash
+		ev.OST, err = strconv.Atoi(args)
+	case "ostrecover":
+		ev.Kind = OSTRecover
+		ev.OST, err = strconv.Atoi(args)
+	case "slowdown":
+		ev.Kind = OSTSlowdown
+		id, factor, found := strings.Cut(args, "x")
+		if !found {
+			return Event{}, fmt.Errorf("faults: slowdown %q wants ID x FACTOR (e.g. slowdown:3x10)", term)
+		}
+		if ev.OST, err = strconv.Atoi(id); err == nil {
+			ev.Factor, err = strconv.ParseFloat(factor, 64)
+		}
+	case "mdsdown":
+		ev.Kind = MDSDown
+	case "mdsup":
+		ev.Kind = MDSUp
+	case "transient":
+		ev.Kind = TransientRate
+		ev.Factor, err = strconv.ParseFloat(args, 64)
+	case "linkdegrade":
+		ev.Kind = LinkDegrade
+		ev.Factor, err = strconv.ParseFloat(args, 64)
+	default:
+		return Event{}, fmt.Errorf("faults: unknown event kind %q in %q", kind, term)
+	}
+	if err != nil {
+		return Event{}, fmt.Errorf("faults: bad arguments in %q: %v", term, err)
+	}
+	return ev, nil
+}

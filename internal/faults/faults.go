@@ -1,0 +1,225 @@
+// Package faults implements deterministic fault-injection campaigns for
+// the simulated I/O stack: scripted and stochastic timelines of fault
+// events — OST crash/recovery, MDS unavailability windows, transient
+// per-request I/O errors, network link degradation, and the classic
+// slowdown/straggler model — applied to any Target (the parallel file
+// system implements it) on a seeded discrete-event engine. Two runs of
+// the same campaign on the same seed produce identical fault timelines,
+// which is what makes what-if resilience experiments reproducible.
+package faults
+
+import (
+	"fmt"
+	"sort"
+
+	"pioeval/internal/des"
+)
+
+// Kind enumerates fault event types.
+type Kind int
+
+// Fault event kinds.
+const (
+	// OSTCrash takes an object storage target out of service.
+	OSTCrash Kind = iota
+	// OSTRecover returns a crashed OST to service.
+	OSTRecover
+	// OSTSlowdown degrades one OST's service times by Factor (straggler).
+	OSTSlowdown
+	// MDSDown starts a metadata-server unavailability window.
+	MDSDown
+	// MDSUp ends a metadata-server unavailability window.
+	MDSUp
+	// TransientRate sets the per-request transient I/O error probability.
+	TransientRate
+	// LinkDegrade multiplies network transfer times by Factor.
+	LinkDegrade
+	numKinds
+)
+
+var kindNames = [...]string{"ost-crash", "ost-recover", "ost-slowdown", "mds-down", "mds-up", "transient-rate", "link-degrade"}
+
+// String returns the event kind name.
+func (k Kind) String() string {
+	if k >= 0 && int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Event is one scheduled fault transition.
+type Event struct {
+	At   des.Time
+	Kind Kind
+	// OST targets OSTCrash/OSTRecover/OSTSlowdown.
+	OST int
+	// Factor parameterizes OSTSlowdown and LinkDegrade (>= 1), and
+	// TransientRate (probability in [0,1]).
+	Factor float64
+}
+
+// String renders the event for logs.
+func (ev Event) String() string {
+	switch ev.Kind {
+	case OSTCrash, OSTRecover:
+		return fmt.Sprintf("%v %s ost%d", ev.At, ev.Kind, ev.OST)
+	case OSTSlowdown:
+		return fmt.Sprintf("%v %s ost%d x%g", ev.At, ev.Kind, ev.OST, ev.Factor)
+	case MDSDown, MDSUp:
+		return fmt.Sprintf("%v %s", ev.At, ev.Kind)
+	default:
+		return fmt.Sprintf("%v %s %g", ev.At, ev.Kind, ev.Factor)
+	}
+}
+
+// Target is the fault surface a campaign drives. pfs.FS satisfies it.
+type Target interface {
+	NumOSTs() int
+	CrashOST(id int) error
+	RecoverOST(id int) error
+	InjectOSTSlowdown(id int, factor float64) error
+	SetMDSAvailable(up bool)
+	SetTransientErrorRate(rate float64) error
+	SetLinkDegradation(factor float64) error
+}
+
+// Stochastic describes a random crash/repair process: each candidate OST
+// independently alternates up/down with exponentially distributed times
+// (mean MTBF up, mean MTTR down) until Horizon. Event times are drawn
+// from the engine's seeded RNG at schedule time, so the expansion is
+// deterministic per seed.
+type Stochastic struct {
+	// MTBF is the mean up time between crashes.
+	MTBF des.Time
+	// MTTR is the mean repair (down) time.
+	MTTR des.Time
+	// Horizon bounds the generated timeline.
+	Horizon des.Time
+	// OSTs are the crash candidates; empty selects every OST.
+	OSTs []int
+}
+
+// Campaign is a fault timeline: scripted events, a stochastic generator,
+// or both.
+type Campaign struct {
+	Name       string
+	Events     []Event
+	Stochastic *Stochastic
+}
+
+// Applied is one campaign event as it fired, with the injection outcome.
+type Applied struct {
+	Event
+	Err error
+}
+
+// Scheduler is a campaign bound to an engine and target; it records every
+// applied event for timelines and determinism checks.
+type Scheduler struct {
+	target  Target
+	applied []Applied
+}
+
+// Log returns the chronological record of fired events.
+func (s *Scheduler) Log() []Applied { return s.applied }
+
+// Errs returns the injection errors encountered, if any.
+func (s *Scheduler) Errs() []error {
+	var out []error
+	for _, a := range s.applied {
+		if a.Err != nil {
+			out = append(out, a.Err)
+		}
+	}
+	return out
+}
+
+// Run schedules campaign c against t on engine e. Events with At in the
+// past (before e.Now()) fire immediately. The returned Scheduler exposes
+// the applied-event log after the simulation runs.
+func Run(e *des.Engine, t Target, c Campaign) (*Scheduler, error) {
+	s := &Scheduler{target: t}
+	events := append([]Event(nil), c.Events...)
+	if c.Stochastic != nil {
+		expanded, err := expand(e, t, c.Name, *c.Stochastic)
+		if err != nil {
+			return nil, err
+		}
+		events = append(events, expanded...)
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
+	now := e.Now()
+	for _, ev := range events {
+		ev := ev
+		delay := ev.At - now
+		if delay < 0 {
+			delay = 0
+		}
+		e.After(delay, func() { s.apply(ev) })
+	}
+	return s, nil
+}
+
+// apply fires one event against the target.
+func (s *Scheduler) apply(ev Event) {
+	var err error
+	switch ev.Kind {
+	case OSTCrash:
+		err = s.target.CrashOST(ev.OST)
+	case OSTRecover:
+		err = s.target.RecoverOST(ev.OST)
+	case OSTSlowdown:
+		err = s.target.InjectOSTSlowdown(ev.OST, ev.Factor)
+	case MDSDown:
+		s.target.SetMDSAvailable(false)
+	case MDSUp:
+		s.target.SetMDSAvailable(true)
+	case TransientRate:
+		err = s.target.SetTransientErrorRate(ev.Factor)
+	case LinkDegrade:
+		err = s.target.SetLinkDegradation(ev.Factor)
+	default:
+		err = fmt.Errorf("faults: unknown event kind %v", ev.Kind)
+	}
+	s.applied = append(s.applied, Applied{Event: ev, Err: err})
+}
+
+// expand turns a stochastic spec into concrete crash/recover events using
+// per-OST seeded RNG streams.
+func expand(e *des.Engine, t Target, name string, st Stochastic) ([]Event, error) {
+	if st.MTBF <= 0 || st.MTTR <= 0 || st.Horizon <= 0 {
+		return nil, fmt.Errorf("faults: stochastic campaign needs positive MTBF, MTTR, and Horizon")
+	}
+	osts := st.OSTs
+	if len(osts) == 0 {
+		for i := 0; i < t.NumOSTs(); i++ {
+			osts = append(osts, i)
+		}
+	}
+	rng := e.RNG()
+	var out []Event
+	for _, id := range osts {
+		if id < 0 || id >= t.NumOSTs() {
+			return nil, fmt.Errorf("faults: stochastic candidate ost%d out of range", id)
+		}
+		stream := fmt.Sprintf("faults.%s.ost%d", name, id)
+		at := e.Now()
+		for {
+			at += rng.Exponential(stream, st.MTBF)
+			if at > st.Horizon {
+				break
+			}
+			out = append(out, Event{At: at, Kind: OSTCrash, OST: id})
+			at += rng.Exponential(stream, st.MTTR)
+			up := at
+			if up > st.Horizon {
+				up = st.Horizon
+			}
+			out = append(out, Event{At: up, Kind: OSTRecover, OST: id})
+			if at > st.Horizon {
+				break
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,167 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+
+	"pioeval/internal/des"
+)
+
+// fakeTarget records injections without a file system behind it.
+type fakeTarget struct {
+	osts      int
+	down      map[int]bool
+	mdsUp     bool
+	transient float64
+	link      float64
+	slow      map[int]float64
+	log       []string
+}
+
+func newFake(osts int) *fakeTarget {
+	return &fakeTarget{osts: osts, down: map[int]bool{}, mdsUp: true, slow: map[int]float64{}}
+}
+
+func (f *fakeTarget) NumOSTs() int { return f.osts }
+func (f *fakeTarget) CrashOST(id int) error {
+	f.down[id] = true
+	f.log = append(f.log, "crash")
+	return nil
+}
+func (f *fakeTarget) RecoverOST(id int) error {
+	f.down[id] = false
+	f.log = append(f.log, "recover")
+	return nil
+}
+func (f *fakeTarget) InjectOSTSlowdown(id int, factor float64) error {
+	f.slow[id] = factor
+	return nil
+}
+func (f *fakeTarget) SetMDSAvailable(up bool) { f.mdsUp = up }
+func (f *fakeTarget) SetTransientErrorRate(rate float64) error {
+	f.transient = rate
+	return nil
+}
+func (f *fakeTarget) SetLinkDegradation(factor float64) error {
+	f.link = factor
+	return nil
+}
+
+func TestParseCampaign(t *testing.T) {
+	c, err := ParseCampaign("ostcrash:1@100ms; ostrecover:1@700ms; slowdown:3x10@2s; mdsdown@1s; mdsup@1500ms; transient:0.01@0s; linkdegrade:4@3s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Event{
+		{At: 100 * des.Millisecond, Kind: OSTCrash, OST: 1},
+		{At: 700 * des.Millisecond, Kind: OSTRecover, OST: 1},
+		{At: 2 * des.Second, Kind: OSTSlowdown, OST: 3, Factor: 10},
+		{At: des.Second, Kind: MDSDown},
+		{At: 1500 * des.Millisecond, Kind: MDSUp},
+		{At: 0, Kind: TransientRate, Factor: 0.01},
+		{At: 3 * des.Second, Kind: LinkDegrade, Factor: 4},
+	}
+	if !reflect.DeepEqual(c.Events, want) {
+		t.Fatalf("parsed %+v\nwant %+v", c.Events, want)
+	}
+}
+
+func TestParseCampaignErrors(t *testing.T) {
+	for _, spec := range []string{
+		"", "ostcrash:1", "ostcrash:x@1s", "slowdown:3@1s",
+		"warp:1@1s", "ostcrash:1@-5s", "transient:abc@0s",
+	} {
+		if _, err := ParseCampaign(spec); err == nil {
+			t.Errorf("ParseCampaign(%q) should fail", spec)
+		}
+	}
+}
+
+func TestScriptedCampaignFiresInOrder(t *testing.T) {
+	e := des.NewEngine(7)
+	tgt := newFake(4)
+	s, err := Run(e, tgt, Campaign{Events: []Event{
+		{At: 200 * des.Millisecond, Kind: OSTRecover, OST: 2},
+		{At: 100 * des.Millisecond, Kind: OSTCrash, OST: 2},
+		{At: 300 * des.Millisecond, Kind: MDSDown},
+		{At: 400 * des.Millisecond, Kind: TransientRate, Factor: 0.5},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run(des.MaxTime)
+	log := s.Log()
+	if len(log) != 4 {
+		t.Fatalf("applied %d events, want 4", len(log))
+	}
+	for i := 1; i < len(log); i++ {
+		if log[i].At < log[i-1].At {
+			t.Fatalf("events fired out of order: %v", log)
+		}
+	}
+	if tgt.down[2] {
+		t.Error("ost2 should have recovered")
+	}
+	if tgt.mdsUp {
+		t.Error("mds should be down")
+	}
+	if tgt.transient != 0.5 {
+		t.Errorf("transient rate = %g, want 0.5", tgt.transient)
+	}
+	if errs := s.Errs(); len(errs) != 0 {
+		t.Errorf("unexpected injection errors: %v", errs)
+	}
+}
+
+func TestStochasticCampaignDeterministic(t *testing.T) {
+	gen := func(seed int64) []Applied {
+		e := des.NewEngine(seed)
+		tgt := newFake(8)
+		s, err := Run(e, tgt, Campaign{Name: "soak", Stochastic: &Stochastic{
+			MTBF: 2 * des.Second, MTTR: 500 * des.Millisecond, Horizon: 20 * des.Second,
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Run(des.MaxTime)
+		return s.Log()
+	}
+	a, b := gen(42), gen(42)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed should produce identical stochastic timelines")
+	}
+	if len(a) == 0 {
+		t.Fatal("stochastic campaign generated no events")
+	}
+	// Crash and recover must alternate per OST, starting with a crash.
+	state := map[int]bool{}
+	for _, ev := range a {
+		switch ev.Kind {
+		case OSTCrash:
+			if state[ev.OST] {
+				t.Fatalf("double crash of ost%d", ev.OST)
+			}
+			state[ev.OST] = true
+		case OSTRecover:
+			if !state[ev.OST] {
+				t.Fatalf("recover of up ost%d", ev.OST)
+			}
+			state[ev.OST] = false
+		}
+	}
+	if c := gen(43); reflect.DeepEqual(a, c) {
+		t.Error("different seeds should produce different timelines")
+	}
+}
+
+func TestStochasticValidation(t *testing.T) {
+	e := des.NewEngine(1)
+	if _, err := Run(e, newFake(2), Campaign{Stochastic: &Stochastic{}}); err == nil {
+		t.Error("zero stochastic config should be rejected")
+	}
+	if _, err := Run(e, newFake(2), Campaign{Stochastic: &Stochastic{
+		MTBF: des.Second, MTTR: des.Second, Horizon: des.Second, OSTs: []int{9},
+	}}); err == nil {
+		t.Error("out-of-range OST candidate should be rejected")
+	}
+}

@@ -82,6 +82,10 @@ type Fabric struct {
 
 	bytesMoved int64
 	messages   uint64
+
+	// degradation >= 1 multiplies latency and serialization times
+	// (fault injection: failing links, congested uplinks).
+	degradation float64
 }
 
 type endpoint struct {
@@ -124,6 +128,32 @@ func (f *Fabric) HasNode(name string) bool {
 // Config returns the fabric configuration.
 func (f *Fabric) Config() Config { return f.cfg }
 
+// SetDegradation degrades every transfer on the fabric by factor (>= 1;
+// 1 restores nominal). Fault injection for failing or congested links.
+func (f *Fabric) SetDegradation(factor float64) error {
+	if factor < 1 {
+		return fmt.Errorf("netsim: %s: degradation factor %g invalid, must be >= 1", f.cfg.Name, factor)
+	}
+	f.degradation = factor
+	return nil
+}
+
+// Degradation returns the current link degradation factor (1 = nominal).
+func (f *Fabric) Degradation() float64 {
+	if f.degradation < 1 {
+		return 1
+	}
+	return f.degradation
+}
+
+// scaled applies the degradation factor to a duration.
+func (f *Fabric) scaled(t des.Time) des.Time {
+	if f.degradation > 1 {
+		return des.Time(float64(t) * f.degradation)
+	}
+	return t
+}
+
 // Transfer moves size bytes from src to dst in simulated time, blocking the
 // calling process for the full transfer duration (latency + serialization
 // with queueing on both links and the backplane).
@@ -143,7 +173,7 @@ func (f *Fabric) Transfer(p *des.Proc, src, dst string, size int64) {
 	f.bytesMoved += size
 	if src == dst {
 		// Loopback: memcpy-speed, modeled as half latency.
-		p.Wait(f.cfg.Latency / 2)
+		p.Wait(f.scaled(f.cfg.Latency / 2))
 		return
 	}
 
@@ -154,18 +184,18 @@ func (f *Fabric) Transfer(p *des.Proc, src, dst string, size int64) {
 	if chunk <= 0 || chunk > size {
 		chunk = size
 	}
-	p.Wait(f.cfg.Latency)
+	p.Wait(f.scaled(f.cfg.Latency))
 	remaining := size
 	for remaining > 0 {
 		n := chunk
 		if n > remaining {
 			n = remaining
 		}
-		t := transferTime(n, f.cfg.LinkBandwidth)
+		t := f.scaled(transferTime(n, f.cfg.LinkBandwidth))
 		s.out.Acquire(p)
 		if f.backplane != nil {
 			f.backplane.Acquire(p)
-			bt := transferTime(n, f.cfg.BackplaneBandwidth)
+			bt := f.scaled(transferTime(n, f.cfg.BackplaneBandwidth))
 			if bt > t {
 				t = bt
 			}

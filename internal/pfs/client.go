@@ -51,13 +51,23 @@ type Client struct {
 	stats ClientStats
 }
 
-// ClientStats captures the client-side view of I/O traffic.
+// ClientStats captures the client-side view of I/O traffic and of the
+// resilience policy's work: attempts beyond the first (Retries), attempts
+// abandoned on timeout (TimedOutRPCs), RPCs that exhausted their retry
+// budget (FailedRPCs), and reads completed in degraded mode with the
+// bytes they could not deliver.
 type ClientStats struct {
 	MetaRPCs  uint64
 	ReadRPCs  uint64
 	WriteRPCs uint64
 	BytesSent int64 // payload leaving the client NIC
 	BytesRecv int64 // payload arriving at the client NIC
+
+	Retries       uint64
+	TimedOutRPCs  uint64
+	FailedRPCs    uint64
+	DegradedReads uint64
+	BytesMissing  int64
 }
 
 // Stats returns a snapshot of the client's counters.
@@ -71,7 +81,7 @@ func (fs *FS) NewClient(nodeName string) *Client {
 		c.ionode = fs.ionodes[fs.nextION%len(fs.ionodes)]
 		fs.nextION++
 	}
-	fs.clients++
+	fs.clientList = append(fs.clientList, c)
 	return c
 }
 
@@ -102,15 +112,40 @@ func (c *Client) fromServer(p *des.Proc, server string, size int64) {
 	}
 }
 
-// metaRPC performs one metadata operation round trip.
+// metaRPC performs one metadata operation round trip under the resilience
+// policy: an unavailable MDS leaves the request unanswered, the client
+// times out and retries with exponential backoff until the policy's
+// budget is exhausted. Namespace errors (ErrExist, ...) are final and
+// never retried — the operation did run, it just failed.
 func (c *Client) metaRPC(p *des.Proc, op MetaOp, fn func() error) error {
-	c.stats.MetaRPCs++
-	c.stats.BytesSent += metaReqSize
-	c.stats.BytesRecv += metaRespSize
-	c.toServer(p, c.fs.mds.node, metaReqSize)
-	err := c.fs.mdsExec(p, op, fn)
-	c.fromServer(p, c.fs.mds.node, metaRespSize)
-	return err
+	pol := c.fs.cfg.Resilience
+	for attempt := 0; ; attempt++ {
+		c.stats.MetaRPCs++
+		c.stats.BytesSent += metaReqSize
+		c.toServer(p, c.fs.mds.node, metaReqSize)
+		var err error
+		if c.fs.mds.down {
+			// No response: the RPC dies on the simulated timeout.
+			if pol.RPCTimeout > 0 {
+				p.Wait(pol.RPCTimeout)
+			}
+			c.stats.TimedOutRPCs++
+			err = ErrMDSUnavailable
+		} else {
+			err = c.fs.mdsExec(p, op, fn)
+			c.stats.BytesRecv += metaRespSize
+			c.fromServer(p, c.fs.mds.node, metaRespSize)
+		}
+		if err == nil || !retryable(err) {
+			return err
+		}
+		if attempt >= pol.MaxRetries {
+			c.stats.FailedRPCs++
+			return err
+		}
+		c.stats.Retries++
+		p.Wait(pol.backoff(c.fs.eng, attempt))
+	}
 }
 
 // Mkdir creates a directory.
@@ -352,11 +387,71 @@ func stripeChunks(l Layout, off, size int64) []chunk {
 	return out
 }
 
+// dataRPC performs one OST-directed transfer under the resilience policy:
+// bounded retries with exponential backoff + jitter around single
+// attempts. Non-retryable errors and exhausted budgets surface to doIO.
+func (c *Client) dataRPC(q *des.Proc, o *ost, obj string, objOff, size int64, write bool) error {
+	pol := c.fs.cfg.Resilience
+	for attempt := 0; ; attempt++ {
+		err := c.tryDataRPC(q, o, obj, objOff, size, write)
+		if err == nil || !retryable(err) {
+			return err
+		}
+		if attempt >= pol.MaxRetries {
+			c.stats.FailedRPCs++
+			return err
+		}
+		c.stats.Retries++
+		q.Wait(pol.backoff(c.fs.eng, attempt))
+	}
+}
+
+// tryDataRPC is a single attempt: pay the request's network cost, then
+// either service it at the OST or observe the failure mode — a crashed
+// target never answers (timeout), and injected transient faults fail the
+// request server-side with an error reply.
+func (c *Client) tryDataRPC(q *des.Proc, o *ost, obj string, objOff, size int64, write bool) error {
+	fs := c.fs
+	if write {
+		c.stats.WriteRPCs++
+		c.stats.BytesSent += size
+		c.toServer(q, o.ossNode, size)
+	} else {
+		c.stats.ReadRPCs++
+		c.stats.BytesSent += dataReqSize
+		c.toServer(q, o.ossNode, dataReqSize)
+	}
+	if o.down {
+		if pol := fs.cfg.Resilience; pol.RPCTimeout > 0 {
+			q.Wait(pol.RPCTimeout)
+		}
+		c.stats.TimedOutRPCs++
+		return fmt.Errorf("%w: ost%d", ErrOSTDown, o.id)
+	}
+	if r := fs.transientRate; r > 0 && fs.eng.RNG().Stream("pfs.transient").Float64() < r {
+		c.stats.BytesRecv += dataReqSize
+		c.fromServer(q, o.ossNode, dataReqSize) // error reply
+		return fmt.Errorf("%w: ost%d %s@%d+%d", ErrIO, o.id, obj, objOff, size)
+	}
+	o.access(q, obj, objOff, size, write)
+	if write {
+		c.stats.BytesRecv += dataReqSize
+		c.fromServer(q, o.ossNode, dataReqSize) // ack
+	} else {
+		c.stats.BytesRecv += size
+		c.fromServer(q, o.ossNode, size)
+	}
+	return nil
+}
+
 // doIO executes the chunks of one request in parallel across OSTs,
 // splitting chunks larger than MaxRPCSize, and blocks until all complete.
-func (h *Handle) doIO(p *des.Proc, chunks []chunk, write bool) {
+// On failure it returns the first (launch-order) error; for reads under a
+// DegradedReads policy the healthy stripes still complete and the miss is
+// reported as a *DegradedReadError with partial-data accounting.
+func (h *Handle) doIO(p *des.Proc, chunks []chunk, write bool) error {
 	fs := h.c.fs
-	wg := des.NewWaitGroup(p.Engine())
+	var rpcs []chunk
 	for _, ch := range chunks {
 		for ch.size > 0 {
 			n := ch.size
@@ -365,38 +460,50 @@ func (h *Handle) doIO(p *des.Proc, chunks []chunk, write bool) {
 			}
 			rpc := ch
 			rpc.size = n
-			wg.Add(1)
-			p.Engine().Spawn("rpc", func(q *des.Proc) {
-				defer wg.Done()
-				o := fs.osts[h.layout.OSTs[rpc.ostIdx]]
-				obj := fmt.Sprintf("%s#%d", h.path, rpc.ostIdx)
-				if write {
-					h.c.stats.WriteRPCs++
-					h.c.stats.BytesSent += rpc.size
-					h.c.stats.BytesRecv += dataReqSize
-					h.c.toServer(q, o.ossNode, rpc.size)
-					o.access(q, obj, rpc.objOff, rpc.size, true)
-					h.c.fromServer(q, o.ossNode, dataReqSize) // ack
-				} else {
-					h.c.stats.ReadRPCs++
-					h.c.stats.BytesSent += dataReqSize
-					h.c.stats.BytesRecv += rpc.size
-					h.c.toServer(q, o.ossNode, dataReqSize) // request
-					o.access(q, obj, rpc.objOff, rpc.size, false)
-					h.c.fromServer(q, o.ossNode, rpc.size)
-				}
-			})
+			rpcs = append(rpcs, rpc)
 			ch.objOff += n
 			ch.size -= n
 		}
 	}
+	errs := make([]error, len(rpcs))
+	wg := des.NewWaitGroup(p.Engine())
+	for i, rpc := range rpcs {
+		i, rpc := i, rpc
+		wg.Add(1)
+		p.Engine().Spawn("rpc", func(q *des.Proc) {
+			defer wg.Done()
+			o := fs.osts[h.layout.OSTs[rpc.ostIdx]]
+			obj := fmt.Sprintf("%s#%d", h.path, rpc.ostIdx)
+			errs[i] = h.c.dataRPC(q, o, obj, rpc.objOff, rpc.size, write)
+		})
+	}
 	wg.Wait(p)
+	var firstErr error
+	var requested, missing int64
+	for i, err := range errs {
+		requested += rpcs[i].size
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			missing += rpcs[i].size
+		}
+	}
+	if firstErr == nil {
+		return nil
+	}
+	if !write && fs.cfg.Resilience.DegradedReads {
+		h.c.stats.DegradedReads++
+		h.c.stats.BytesMissing += missing
+		return &DegradedReadError{Path: h.path, Requested: requested, Missing: missing, Cause: firstErr}
+	}
+	return firstErr
 }
 
 // updateSize grows the file size at the MDS (a size RPC, as Lustre clients
 // batch; modeled as one metadata op).
-func (h *Handle) updateSize(p *des.Proc, end int64) {
-	_ = h.c.metaRPC(p, OpSetSize, func() error {
+func (h *Handle) updateSize(p *des.Proc, end int64) error {
+	return h.c.metaRPC(p, OpSetSize, func() error {
 		n, ok := h.c.fs.mds.inodes[h.path]
 		if !ok {
 			return ErrNotExist
@@ -410,27 +517,33 @@ func (h *Handle) updateSize(p *des.Proc, end int64) {
 }
 
 // Write writes size bytes at offset off, blocking in simulated time. With
-// write-behind enabled, data may be buffered and flushed later.
-func (h *Handle) Write(p *des.Proc, off, size int64) {
+// write-behind enabled, data may be buffered and flushed later; errors
+// from a deferred flush surface on the Write, Fsync, or Close that
+// triggers it. A closed handle returns ErrClosedHandle.
+func (h *Handle) Write(p *des.Proc, off, size int64) error {
 	if h.closed {
-		panic("pfs: write on closed handle")
+		return fmt.Errorf("%w: write %s", ErrClosedHandle, h.path)
 	}
 	if size <= 0 {
-		return
+		return nil
 	}
 	start := p.Now()
 	h.raValid = false // writes invalidate the readahead window
+	var err error
 	if h.c.wbCapacity > 0 {
 		h.appendDirty(off, size)
 		h.c.wbDirty += size
 		if h.c.wbDirty >= h.c.wbCapacity {
-			h.flush(p)
+			err = h.flush(p)
 		}
 	} else {
-		h.doIO(p, stripeChunks(h.layout, off, size), true)
-		h.updateSize(p, off+size)
+		err = h.doIO(p, stripeChunks(h.layout, off, size), true)
+		if err == nil {
+			err = h.updateSize(p, off+size)
+		}
 	}
 	h.c.fs.observe(OpEvent{Client: h.c.node, Op: "write", Path: h.path, Offset: off, Size: size, Start: start, End: p.Now()})
+	return err
 }
 
 // appendDirty records a dirty extent, coalescing with the previous one when
@@ -446,10 +559,12 @@ func (h *Handle) appendDirty(off, size int64) {
 	h.dirty = append(h.dirty, extent{off, size})
 }
 
-// flush writes out all dirty extents.
-func (h *Handle) flush(p *des.Proc) {
+// flush writes out all dirty extents. Buffered data is dropped whether or
+// not the writeback succeeds — on failure it is lost, as with a real
+// client cache, and the error surfaces to the caller.
+func (h *Handle) flush(p *des.Proc) error {
 	if len(h.dirty) == 0 {
-		return
+		return nil
 	}
 	var chunks []chunk
 	var maxEnd int64
@@ -463,49 +578,60 @@ func (h *Handle) flush(p *des.Proc) {
 	}
 	h.dirty = nil
 	h.c.wbDirty -= total
-	h.doIO(p, chunks, true)
-	h.updateSize(p, maxEnd)
+	if err := h.doIO(p, chunks, true); err != nil {
+		return err
+	}
+	return h.updateSize(p, maxEnd)
 }
 
 // Read reads size bytes at offset off, blocking in simulated time. With
 // readahead enabled, misses fetch an extended window and later reads
-// within the window are served from client memory.
-func (h *Handle) Read(p *des.Proc, off, size int64) {
+// within the window are served from client memory. Under a DegradedReads
+// policy, a read spanning a crashed OST returns *DegradedReadError after
+// fetching the reachable stripes; a closed handle returns ErrClosedHandle.
+func (h *Handle) Read(p *des.Proc, off, size int64) error {
 	if h.closed {
-		panic("pfs: read on closed handle")
+		return fmt.Errorf("%w: read %s", ErrClosedHandle, h.path)
 	}
 	if size <= 0 {
-		return
+		return nil
 	}
 	start := p.Now()
 	ra := h.c.fs.cfg.ClientReadahead
+	var err error
 	switch {
 	case ra > 0 && h.raValid && off >= h.raStart && off+size <= h.raEnd:
 		// Cache hit: served from client memory at zero simulated cost.
 	case ra > 0:
 		fetch := size + ra
-		h.doIO(p, stripeChunks(h.layout, off, fetch), false)
-		h.raStart, h.raEnd, h.raValid = off, off+fetch, true
+		err = h.doIO(p, stripeChunks(h.layout, off, fetch), false)
+		if err == nil {
+			h.raStart, h.raEnd, h.raValid = off, off+fetch, true
+		}
 	default:
-		h.doIO(p, stripeChunks(h.layout, off, size), false)
+		err = h.doIO(p, stripeChunks(h.layout, off, size), false)
 	}
 	h.c.fs.observe(OpEvent{Client: h.c.node, Op: "read", Path: h.path, Offset: off, Size: size, Start: start, End: p.Now()})
+	return err
 }
 
 // Fsync flushes buffered writes.
-func (h *Handle) Fsync(p *des.Proc) {
+func (h *Handle) Fsync(p *des.Proc) error {
 	start := p.Now()
-	h.flush(p)
+	err := h.flush(p)
 	h.c.fs.observe(OpEvent{Client: h.c.node, Op: "fsync", Path: h.path, Start: start, End: p.Now()})
+	return err
 }
 
-// Close flushes and closes the handle.
-func (h *Handle) Close(p *des.Proc) {
+// Close flushes and closes the handle. The handle is closed even when the
+// final flush fails; the flush error is returned.
+func (h *Handle) Close(p *des.Proc) error {
 	if h.closed {
-		return
+		return nil
 	}
 	start := p.Now()
-	h.flush(p)
+	err := h.flush(p)
 	h.closed = true
 	h.c.fs.observe(OpEvent{Client: h.c.node, Op: "close", Path: h.path, Start: start, End: p.Now()})
+	return err
 }

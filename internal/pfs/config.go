@@ -68,6 +68,11 @@ type Config struct {
 	// Sequential streams benefit; random access suffers amplification —
 	// both behaviours are real. 0 disables.
 	ClientReadahead int64
+
+	// Resilience configures client-side fault handling (timeouts, retry
+	// with backoff, degraded reads). The zero value fails fast with no
+	// retries — see ResiliencePolicy and DefaultResilience.
+	Resilience ResiliencePolicy
 }
 
 // DefaultConfig returns a small but representative deployment: 4 OSS x 2

@@ -1,6 +1,7 @@
 package pfs
 
 import (
+	"errors"
 	"testing"
 
 	"pioeval/internal/des"
@@ -159,12 +160,24 @@ func TestStragglerVisibleInServerStats(t *testing.T) {
 func TestInjectSlowdownValidation(t *testing.T) {
 	e := des.NewEngine(1)
 	fs := New(e, fastConfig())
-	defer func() {
-		if recover() == nil {
-			t.Error("bad OST id should panic")
-		}
-	}()
-	fs.InjectOSTSlowdown(99, 2)
+	if err := fs.InjectOSTSlowdown(99, 2); !errors.Is(err, ErrNoSuchOST) {
+		t.Errorf("bad OST id: err = %v, want ErrNoSuchOST", err)
+	}
+	if err := fs.InjectOSTSlowdown(-1, 2); !errors.Is(err, ErrNoSuchOST) {
+		t.Errorf("negative OST id: err = %v, want ErrNoSuchOST", err)
+	}
+	if err := fs.InjectOSTSlowdown(0, 0); !errors.Is(err, ErrBadSlowdown) {
+		t.Errorf("zero factor: err = %v, want ErrBadSlowdown", err)
+	}
+	if err := fs.InjectOSTSlowdown(0, -3); !errors.Is(err, ErrBadSlowdown) {
+		t.Errorf("negative factor: err = %v, want ErrBadSlowdown", err)
+	}
+	if err := fs.InjectOSTSlowdown(0, 4); err != nil {
+		t.Errorf("valid slowdown: err = %v", err)
+	}
+	if err := fs.InjectOSTSlowdown(0, 1); err != nil {
+		t.Errorf("restore to nominal: err = %v", err)
+	}
 }
 
 func TestClientStatsCounters(t *testing.T) {

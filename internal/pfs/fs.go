@@ -83,6 +83,7 @@ type mds struct {
 	inodes  map[string]*inode
 	ops     [numMetaOps]uint64
 	busy    des.Time
+	down    bool // unavailability window (fault injection)
 }
 
 // FS is a simulated parallel file system instance.
@@ -96,7 +97,12 @@ type FS struct {
 	ionodes []string
 	nextION int
 	nextOST int // round-robin base for layout allocation
-	clients int
+
+	clientList []*Client
+
+	// Fault-injection state (see resilience.go).
+	transientRate float64
+	faultLog      []FaultRecord
 
 	observer func(OpEvent)
 }
@@ -287,13 +293,20 @@ func (fs *FS) OSTStats() []OSTStats {
 }
 
 // InjectOSTSlowdown degrades OST id by the given factor (failure /
-// straggler injection, >= 1; 1 restores nominal speed). It panics on an
-// unknown OST id.
-func (fs *FS) InjectOSTSlowdown(id int, factor float64) {
+// straggler injection, >= 1; 1 restores nominal speed). It returns
+// ErrNoSuchOST for an unknown id and ErrBadSlowdown for factor < 1.
+func (fs *FS) InjectOSTSlowdown(id int, factor float64) error {
 	if id < 0 || id >= len(fs.osts) {
-		panic(fmt.Sprintf("pfs: no OST %d", id))
+		return fmt.Errorf("%w: %d", ErrNoSuchOST, id)
 	}
-	fs.osts[id].dev.SetSlowdown(factor)
+	if factor < 1 {
+		return fmt.Errorf("%w: got %g for ost%d", ErrBadSlowdown, factor, id)
+	}
+	if err := fs.osts[id].dev.SetSlowdown(factor); err != nil {
+		return fmt.Errorf("pfs: ost%d: %w", id, err)
+	}
+	fs.recordFault("ost-slowdown", id, factor)
+	return nil
 }
 
 // TotalBytes sums read and written bytes over all OSTs.

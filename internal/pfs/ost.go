@@ -18,6 +18,10 @@ type ost struct {
 	allocPtr int64
 
 	readOps, writeOps uint64
+
+	// Crash state (fault injection): a down OST answers no requests.
+	down      bool
+	downSince des.Time
 }
 
 func newOST(id int, ossNode string, dev *blockdev.Device) *ost {
@@ -60,6 +64,10 @@ type OSTStats struct {
 	Utilization  float64
 	QueueLen     int
 	PeakQueue    int
+	// Down reports the crash state; Slowdown the degradation factor
+	// (1 = nominal). Failure detectors key off these.
+	Down     bool
+	Slowdown float64
 }
 
 func (o *ost) stats() OSTStats {
@@ -74,5 +82,7 @@ func (o *ost) stats() OSTStats {
 		Utilization:  o.dev.Utilization(),
 		QueueLen:     st.QueueLen,
 		PeakQueue:    st.PeakQueue,
+		Down:         o.down,
+		Slowdown:     o.dev.Slowdown(),
 	}
 }

@@ -1,0 +1,240 @@
+package pfs
+
+import (
+	"errors"
+	"testing"
+
+	"pioeval/internal/des"
+)
+
+// resilientConfig is fastConfig plus an aggressive retry policy.
+func resilientConfig() Config {
+	cfg := fastConfig()
+	cfg.Resilience = ResiliencePolicy{
+		RPCTimeout:    5 * des.Millisecond,
+		MaxRetries:    4,
+		BackoffBase:   2 * des.Millisecond,
+		BackoffMax:    20 * des.Millisecond,
+		JitterFrac:    0.2,
+		DegradedReads: true,
+	}
+	return cfg
+}
+
+func TestClosedHandleReturnsTypedErrors(t *testing.T) {
+	runClient(t, fastConfig(), func(p *des.Proc, c *Client) {
+		h, err := c.Create(p, "/f", 1, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Write(p, 0, 4096); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		if err := h.Close(p); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+		if err := h.Write(p, 0, 4096); !errors.Is(err, ErrClosedHandle) {
+			t.Errorf("write on closed handle: err = %v, want ErrClosedHandle", err)
+		}
+		if err := h.Read(p, 0, 4096); !errors.Is(err, ErrClosedHandle) {
+			t.Errorf("read on closed handle: err = %v, want ErrClosedHandle", err)
+		}
+		if err := h.Close(p); err != nil {
+			t.Errorf("double close: err = %v, want nil", err)
+		}
+	})
+}
+
+func TestCrashedOSTFailsFastWithoutPolicy(t *testing.T) {
+	cfg := fastConfig() // zero-value policy: fail fast, no retries
+	e := des.NewEngine(5)
+	fs := New(e, cfg)
+	c := fs.NewClient("c0")
+	e.Spawn("w", func(p *des.Proc) {
+		h, _ := c.Create(p, "/f", 1, 1<<20)
+		if err := fs.CrashOST(h.Layout().OSTs[0]); err != nil {
+			t.Errorf("crash: %v", err)
+		}
+		if err := h.Write(p, 0, 1<<20); !errors.Is(err, ErrOSTDown) {
+			t.Errorf("write to crashed OST: err = %v, want ErrOSTDown", err)
+		}
+		if err := h.Read(p, 0, 4096); !errors.Is(err, ErrOSTDown) {
+			t.Errorf("read from crashed OST: err = %v, want ErrOSTDown", err)
+		}
+	})
+	e.Run(des.MaxTime)
+	if e.LiveProcs() != 0 {
+		t.Fatal("deadlock")
+	}
+	st := c.Stats()
+	if st.Retries != 0 {
+		t.Errorf("fail-fast policy retried %d times", st.Retries)
+	}
+	if st.FailedRPCs == 0 {
+		t.Error("failed RPCs should be counted")
+	}
+}
+
+func TestRetrySucceedsAfterRecovery(t *testing.T) {
+	cfg := resilientConfig()
+	e := des.NewEngine(6)
+	fs := New(e, cfg)
+	c := fs.NewClient("c0")
+	var werr error
+	e.Spawn("w", func(p *des.Proc) {
+		h, _ := c.Create(p, "/f", 1, 1<<20)
+		_ = fs.CrashOST(h.Layout().OSTs[0])
+		// Recovery lands inside the retry budget (~5ms timeout + backoff).
+		e.After(12*des.Millisecond, func() { _ = fs.RecoverOST(h.Layout().OSTs[0]) })
+		werr = h.Write(p, 0, 1<<20)
+		_ = h.Close(p)
+	})
+	e.Run(des.MaxTime)
+	if werr != nil {
+		t.Fatalf("write should succeed after recovery, got %v", werr)
+	}
+	st := c.Stats()
+	if st.Retries == 0 || st.TimedOutRPCs == 0 {
+		t.Errorf("expected retries and timeouts, got %+v", st)
+	}
+	if st.FailedRPCs != 0 {
+		t.Errorf("no RPC should exhaust its budget, got %+v", st)
+	}
+	log := fs.FaultLog()
+	if len(log) != 2 || log[0].Kind != "ost-crash" || log[1].Kind != "ost-recover" {
+		t.Errorf("fault log = %+v", log)
+	}
+}
+
+func TestDegradedReadAccountsPartialData(t *testing.T) {
+	cfg := resilientConfig()
+	cfg.Resilience.MaxRetries = 1 // exhaust quickly; the OST stays down
+	e := des.NewEngine(7)
+	fs := New(e, cfg)
+	c := fs.NewClient("c0")
+	e.Spawn("r", func(p *des.Proc) {
+		h, _ := c.Create(p, "/f", 4, 1<<20)
+		if err := h.Write(p, 0, 8<<20); err != nil {
+			t.Fatalf("seed write: %v", err)
+		}
+		downOST := h.Layout().OSTs[1]
+		_ = fs.CrashOST(downOST)
+		err := h.Read(p, 0, 8<<20)
+		var deg *DegradedReadError
+		if !errors.As(err, &deg) {
+			t.Fatalf("read = %v, want *DegradedReadError", err)
+		}
+		if !errors.Is(err, ErrOSTDown) {
+			t.Error("degraded read should unwrap to ErrOSTDown")
+		}
+		// OST 1 of 4 holds 2MB of the 8MB request.
+		if deg.Missing != 2<<20 || deg.Requested != 8<<20 {
+			t.Errorf("degraded accounting: missing %d of %d", deg.Missing, deg.Requested)
+		}
+	})
+	e.Run(des.MaxTime)
+	if e.LiveProcs() != 0 {
+		t.Fatal("deadlock")
+	}
+	st := c.Stats()
+	if st.DegradedReads != 1 || st.BytesMissing != 2<<20 {
+		t.Errorf("client degraded counters = %+v", st)
+	}
+}
+
+func TestMDSUnavailabilityWindow(t *testing.T) {
+	cfg := resilientConfig()
+	e := des.NewEngine(8)
+	fs := New(e, cfg)
+	c := fs.NewClient("c0")
+	var early, late error
+	e.Spawn("m", func(p *des.Proc) {
+		fs.SetMDSAvailable(false)
+		// Comes back inside the retry budget.
+		e.After(10*des.Millisecond, func() { fs.SetMDSAvailable(true) })
+		early = c.Mkdir(p, "/d1")
+		late = c.Mkdir(p, "/d2")
+	})
+	e.Run(des.MaxTime)
+	if early != nil || late != nil {
+		t.Fatalf("mkdirs should succeed after MDS recovery: %v / %v", early, late)
+	}
+	if st := c.Stats(); st.Retries == 0 {
+		t.Errorf("expected meta retries, got %+v", st)
+	}
+	// Exhausted budget surfaces ErrMDSUnavailable.
+	fs2 := New(des.NewEngine(9), cfg)
+	c2 := fs2.NewClient("c0")
+	var err error
+	fs2.Engine().Spawn("m", func(p *des.Proc) {
+		fs2.SetMDSAvailable(false)
+		err = c2.Mkdir(p, "/d")
+	})
+	fs2.Engine().Run(des.MaxTime)
+	if !errors.Is(err, ErrMDSUnavailable) {
+		t.Errorf("mkdir during outage: err = %v, want ErrMDSUnavailable", err)
+	}
+}
+
+func TestTransientErrorsRetriedToSuccess(t *testing.T) {
+	cfg := resilientConfig()
+	cfg.Resilience.MaxRetries = 8 // 0.3^9 per RPC: budget exhaustion implausible
+	e := des.NewEngine(10)
+	fs := New(e, cfg)
+	if err := fs.SetTransientErrorRate(1.5); err == nil {
+		t.Error("rate > 1 should be rejected")
+	}
+	if err := fs.SetTransientErrorRate(0.3); err != nil {
+		t.Fatal(err)
+	}
+	c := fs.NewClient("c0")
+	failures := 0
+	e.Spawn("w", func(p *des.Proc) {
+		h, _ := c.Create(p, "/f", 2, 1<<20)
+		for i := 0; i < 16; i++ {
+			if err := h.Write(p, int64(i)<<20, 1<<20); err != nil {
+				failures++
+			}
+		}
+		_ = h.Close(p)
+	})
+	e.Run(des.MaxTime)
+	st := c.Stats()
+	if st.Retries == 0 {
+		t.Error("30% transient error rate should force retries")
+	}
+	// With 8 retries per RPC, the chance of exhausting the budget is
+	// 0.3^9 per RPC — all writes should have landed.
+	if failures != 0 || st.FailedRPCs != 0 {
+		t.Errorf("writes failed: %d (stats %+v)", failures, st)
+	}
+}
+
+func TestResilienceDeterministicTimelines(t *testing.T) {
+	run := func() (des.Time, ClientStats) {
+		cfg := resilientConfig()
+		e := des.NewEngine(77)
+		fs := New(e, cfg)
+		_ = fs.SetTransientErrorRate(0.2)
+		c := fs.NewClient("c0")
+		e.Spawn("w", func(p *des.Proc) {
+			h, _ := c.Create(p, "/f", 4, 1<<20)
+			_ = fs.CrashOST(2)
+			e.After(30*des.Millisecond, func() { _ = fs.RecoverOST(2) })
+			for i := 0; i < 8; i++ {
+				_ = h.Write(p, int64(i)*(4<<20), 4<<20)
+			}
+			_ = h.Close(p)
+		})
+		end := e.Run(des.MaxTime)
+		return end, c.Stats()
+	}
+	end1, st1 := run()
+	end2, st2 := run()
+	if end1 != end2 || st1 != st2 {
+		t.Fatalf("same seed diverged: %v/%v vs %v/%v", end1, st1, end2, st2)
+	}
+	if st1.Retries == 0 {
+		t.Error("scenario should have exercised retries")
+	}
+}

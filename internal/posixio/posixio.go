@@ -129,11 +129,14 @@ func (e *Env) Pwrite(p *des.Proc, fd int, off, size int64) (int64, error) {
 		return 0, err
 	}
 	start := p.Now()
-	st.h.Write(p, off, size)
+	werr := st.h.Write(p, off, size)
 	if end := off + size; end > st.size {
 		st.size = end
 	}
 	e.emit(p, "write", st.h.Path(), off, size, start)
+	if werr != nil {
+		return 0, werr
+	}
 	return size, nil
 }
 
@@ -155,8 +158,21 @@ func (e *Env) Pread(p *des.Proc, fd int, off, size int64) (int64, error) {
 		return 0, err
 	}
 	start := p.Now()
-	st.h.Read(p, off, size)
+	rerr := st.h.Read(p, off, size)
 	e.emit(p, "read", st.h.Path(), off, size, start)
+	if rerr != nil {
+		// Degraded-mode reads deliver the reachable bytes; report the
+		// short count alongside the error, like a POSIX partial read.
+		var deg *pfs.DegradedReadError
+		if errors.As(rerr, &deg) {
+			n := size - deg.Missing
+			if n < 0 {
+				n = 0
+			}
+			return n, rerr
+		}
+		return 0, rerr
+	}
 	return size, nil
 }
 
@@ -196,9 +212,9 @@ func (e *Env) Fsync(p *des.Proc, fd int) error {
 		return err
 	}
 	start := p.Now()
-	st.h.Fsync(p)
+	serr := st.h.Fsync(p)
 	e.emit(p, "fsync", st.h.Path(), 0, 0, start)
-	return nil
+	return serr
 }
 
 // Close closes fd.
@@ -208,10 +224,10 @@ func (e *Env) Close(p *des.Proc, fd int) error {
 		return err
 	}
 	start := p.Now()
-	st.h.Close(p)
+	cerr := st.h.Close(p)
 	delete(e.fds, fd)
 	e.emit(p, "close", st.h.Path(), 0, 0, start)
-	return nil
+	return cerr
 }
 
 // Stat returns file metadata.

@@ -58,12 +58,23 @@ type CheckpointReport struct {
 	Makespan      des.Time
 	// IOFraction is perceived I/O time / (I/O + compute) per rank, averaged.
 	IOFraction float64
+	// IOErrors counts failed checkpoint operations (open, write, fsync,
+	// close) across all ranks and steps — nonzero under fault injection
+	// when the resilience budget is exhausted.
+	IOErrors uint64
+	// StepIOErrors breaks IOErrors down per step, aligning failure bursts
+	// with the StepIOTime series.
+	StepIOErrors []uint64
 }
 
 // RunCheckpoint executes the checkpoint workload.
 func RunCheckpoint(h *Harness, cfg CheckpointConfig) CheckpointReport {
 	cfg = cfg.withDefaults()
-	rep := CheckpointReport{Config: cfg, StepIOTime: make([]des.Time, cfg.Steps)}
+	rep := CheckpointReport{
+		Config:       cfg,
+		StepIOTime:   make([]des.Time, cfg.Steps),
+		StepIOErrors: make([]uint64, cfg.Steps),
+	}
 	rep.TotalBytes = cfg.BytesPerRank * int64(cfg.Ranks) * int64(cfg.Steps)
 	stepStart := make([]des.Time, cfg.Steps)
 	var ioTimeSum des.Time
@@ -99,16 +110,26 @@ func RunCheckpoint(h *Harness, cfg CheckpointConfig) CheckpointReport {
 					cfg.Buffer.Write(p, path, base+off, n)
 				}
 			} else {
-				fd, _ := env.Open(p, path, posixio.OCreate)
-				for off := int64(0); off < cfg.BytesPerRank; off += cfg.TransferSize {
-					n := cfg.TransferSize
-					if off+n > cfg.BytesPerRank {
-						n = cfg.BytesPerRank - off
+				fd, err := env.Open(p, path, posixio.OCreate)
+				if err != nil {
+					rep.StepIOErrors[step]++
+				} else {
+					for off := int64(0); off < cfg.BytesPerRank; off += cfg.TransferSize {
+						n := cfg.TransferSize
+						if off+n > cfg.BytesPerRank {
+							n = cfg.BytesPerRank - off
+						}
+						if _, werr := env.Pwrite(p, fd, base+off, n); werr != nil {
+							rep.StepIOErrors[step]++
+						}
 					}
-					_, _ = env.Pwrite(p, fd, base+off, n)
+					if err := env.Fsync(p, fd); err != nil {
+						rep.StepIOErrors[step]++
+					}
+					if err := env.Close(p, fd); err != nil {
+						rep.StepIOErrors[step]++
+					}
 				}
-				_ = env.Fsync(p, fd)
-				_ = env.Close(p, fd)
 			}
 			ioTimeSum += r.Now() - t0
 			r.Barrier()
@@ -127,6 +148,9 @@ func RunCheckpoint(h *Harness, cfg CheckpointConfig) CheckpointReport {
 		}
 	})
 	rep.Makespan = end
+	for _, n := range rep.StepIOErrors {
+		rep.IOErrors += n
+	}
 	var totalIO des.Time
 	for _, d := range rep.StepIOTime {
 		totalIO += d
