@@ -1,0 +1,161 @@
+package pioeval_test
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+	"time"
+
+	"pioeval/internal/campaign"
+)
+
+// trajectorySpec is the perf-trajectory sweep recorded in
+// BENCH_campaign.json: the same 48-point baseline grid cmd/campaign runs
+// by default (devices x stripe counts x transfer sizes x patterns at two
+// rank counts, three repetitions each).
+func trajectorySpec() campaign.Spec {
+	return campaign.Spec{
+		Name:          "baseline-grid",
+		Workload:      campaign.WorkloadIOR,
+		Seed:          42,
+		Reps:          3,
+		Ranks:         []int{2, 4},
+		Devices:       []string{"hdd", "ssd", "nvme"},
+		StripeCounts:  []int{1, 4},
+		BlockSizes:    []int64{4 << 20},
+		TransferSizes: []int64{256 << 10, 1 << 20},
+		Patterns:      []string{"sequential", "random"},
+	}
+}
+
+// TestCampaignDeterminismAcrossWorkers is the acceptance check for the
+// campaign runner's core guarantee: the full trajectory sweep aggregated
+// at workers=1 and workers=8 produces byte-identical JSON, because every
+// run's seed derives from (campaign seed, run index) and results are
+// stored by index, never by completion order.
+func TestCampaignDeterminismAcrossWorkers(t *testing.T) {
+	var out [2]bytes.Buffer
+	for i, workers := range []int{1, 8} {
+		rep, err := campaign.Run(trajectorySpec(), campaign.Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rep.WriteJSON(&out[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(out[0].Bytes(), out[1].Bytes()) {
+		t.Fatal("workers=1 and workers=8 produced different aggregated JSON")
+	}
+}
+
+// TestCampaignParallelSpeedup checks that the worker pool actually buys
+// wall-clock time on parallel hardware: workers=8 must finish the sweep at
+// least 3x faster than workers=1. The runs are independent simulations
+// with no shared state, so the sweep is embarrassingly parallel; the test
+// necessarily skips on machines without enough cores to express that.
+func TestCampaignParallelSpeedup(t *testing.T) {
+	if runtime.NumCPU() < 8 {
+		t.Skipf("need >= 8 CPUs for an 8-worker speedup measurement, have %d", runtime.NumCPU())
+	}
+	if testing.Short() {
+		t.Skip("wall-clock measurement")
+	}
+	spec := trajectorySpec()
+	spec.BlockSizes = []int64{16 << 20} // enough per-run work to dominate pool overhead
+	elapsed := func(workers int) time.Duration {
+		start := time.Now()
+		if _, err := campaign.Run(spec, campaign.Options{Workers: workers}); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	serial := elapsed(1)
+	parallel := elapsed(8)
+	speedup := float64(serial) / float64(parallel)
+	t.Logf("serial %v, parallel %v, speedup %.2fx", serial, parallel, speedup)
+	if speedup < 3 {
+		t.Errorf("speedup %.2fx at workers=8, want >= 3x", speedup)
+	}
+}
+
+// BenchmarkCampaignSweep runs the 48-point, 144-run trajectory sweep and
+// reports its scale and throughput plus a headline aggregate (the
+// device-ordering sanity metric: mean sequential write bandwidth on nvme
+// vs hdd at 4 ranks, 4-way striping, 1 MB transfers).
+func BenchmarkCampaignSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		rep, err := campaign.Run(trajectorySpec(), campaign.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		wall := time.Since(start)
+		var hdd, nvme float64
+		for _, ps := range rep.Points {
+			p := ps.Point
+			if p.Ranks == 4 && p.StripeCount == 4 && p.TransferSize == 1<<20 && p.Pattern == "sequential" {
+				switch p.Device {
+				case "hdd":
+					hdd = ps.Metrics["write_MBps"].Mean
+				case "nvme":
+					nvme = ps.Metrics["write_MBps"].Mean
+				}
+			}
+		}
+		if hdd <= 0 || nvme <= hdd {
+			b.Fatalf("device ordering violated: hdd %g MB/s, nvme %g MB/s", hdd, nvme)
+		}
+		b.ReportMetric(float64(len(rep.Points)), "points")
+		b.ReportMetric(float64(len(rep.Runs)), "runs")
+		b.ReportMetric(float64(len(rep.Runs))/wall.Seconds(), "runs/s")
+		b.ReportMetric(hdd, "hdd_write_MBps")
+		b.ReportMetric(nvme, "nvme_write_MBps")
+	}
+}
+
+// BenchmarkResilienceFaultSweep routes the resilience what-if sweep
+// through the campaign runner: a checkpoint workload swept over fault
+// campaigns (none, an OST crash window, an OST straggler), three
+// repetitions each, aggregated into distributions. Reported: nominal vs
+// faulted effective bandwidth and the retry volume the fault windows
+// induce.
+func BenchmarkResilienceFaultSweep(b *testing.B) {
+	spec := campaign.Spec{
+		Name:          "resilience-sweep",
+		Workload:      campaign.WorkloadCheckpoint,
+		Seed:          501,
+		Reps:          3,
+		Steps:         6,
+		Ranks:         []int{4},
+		Devices:       []string{"ssd"},
+		StripeCounts:  []int{8},
+		BlockSizes:    []int64{4 << 20},
+		TransferSizes: []int64{1 << 20},
+		Faults: []string{
+			"",
+			"ostcrash:1@100ms; ostrecover:1@300ms",
+			"slowdown:1x8@0ms",
+		},
+	}
+	for i := 0; i < b.N; i++ {
+		rep, err := campaign.Run(spec, campaign.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		nominal := rep.Points[0].Metrics
+		crashed := rep.Points[1].Metrics
+		straggler := rep.Points[2].Metrics
+		if crashed["retries"].Mean == 0 {
+			b.Fatal("crash window never exercised the retry path")
+		}
+		if crashed["io_errors"].Mean != 0 {
+			b.Fatalf("crash window exceeded the retry budget: %g io errors", crashed["io_errors"].Mean)
+		}
+		b.ReportMetric(nominal["effective_MBps"].Mean, "nominal_MBps")
+		b.ReportMetric(crashed["effective_MBps"].Mean, "crash_MBps")
+		b.ReportMetric(straggler["effective_MBps"].Mean, "straggler_MBps")
+		b.ReportMetric(crashed["retries"].Mean, "crash_retries")
+		b.ReportMetric(crashed["worst_step_ms"].Mean, "crash_worst_step_ms")
+	}
+}

@@ -1,0 +1,151 @@
+// Command campaign runs a parameter-sweep experiment campaign: it expands
+// a declarative spec (see internal/campaign.ParseSpec for the format) into
+// a cartesian grid of simulation runs, executes them in parallel with live
+// progress and ETA on stderr, and emits per-point distribution summaries
+// as a table (stdout), JSON (the repository's BENCH_*.json perf-trajectory
+// format), and CSV.
+//
+// With no spec file argument it runs the built-in baseline grid — the
+// 48-point sweep recorded in BENCH_campaign.json:
+//
+//	campaign -json BENCH_campaign.json
+//	campaign -workers 8 -reps 5 sweep.campaign
+//	campaign -points sweep.campaign          # list the grid, run nothing
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"pioeval/internal/campaign"
+)
+
+// defaultSpec is the built-in baseline grid: 48 points spanning device
+// models, stripe counts, transfer sizes, and access patterns at two rank
+// counts, three repetitions each.
+const defaultSpec = `
+campaign "baseline-grid" {
+    workload ior
+    seed 42
+    reps 3
+    ranks 2, 4
+    device hdd, ssd, nvme
+    stripe-count 1, 4
+    block-size 4MB
+    transfer-size 256KB, 1MB
+    pattern sequential, random
+}
+`
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("campaign: ")
+	fs := flag.NewFlagSet("campaign", flag.ExitOnError)
+	workers := fs.Int("workers", 0, "simultaneous simulations (0 = GOMAXPROCS)")
+	seed := fs.Int64("seed", -1, "override the spec's campaign seed (-1 = keep)")
+	reps := fs.Int("reps", 0, "override the spec's repetitions (0 = keep)")
+	jsonOut := fs.String("json", "", "write the aggregated report as JSON to this file (- for stdout)")
+	csvOut := fs.String("csv", "", "write per-point summaries as CSV to this file (- for stdout)")
+	listOnly := fs.Bool("points", false, "print the expanded grid and exit without running")
+	quiet := fs.Bool("quiet", false, "suppress progress output")
+	_ = fs.Parse(os.Args[1:])
+
+	src := defaultSpec
+	if fs.NArg() == 1 {
+		b, err := os.ReadFile(fs.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		src = string(b)
+	} else if fs.NArg() > 1 {
+		log.Fatal("at most one spec file argument")
+	}
+	spec, err := campaign.ParseSpec(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *seed >= 0 {
+		spec.Seed = *seed
+	}
+	if *reps > 0 {
+		spec.Reps = *reps
+	}
+	if err := spec.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	points := spec.Expand()
+	if *listOnly {
+		for _, p := range points {
+			fmt.Printf("point %3d: %s\n", p.ID, p.Label())
+		}
+		fmt.Printf("%d points x %d reps = %d runs\n", len(points), max(spec.Reps, 1), len(points)*max(spec.Reps, 1))
+		return
+	}
+
+	opt := campaign.Options{Workers: *workers}
+	if !*quiet {
+		opt.OnProgress = func(p campaign.Progress) {
+			fmt.Fprintf(os.Stderr, "\rrun %d/%d (%.0f%%) elapsed %v eta %v    ",
+				p.Done, p.Total, 100*float64(p.Done)/float64(p.Total),
+				p.Elapsed.Round(10_000_000), p.ETA.Round(10_000_000))
+			if p.Done == p.Total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+	rep, err := campaign.Run(spec, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	printSummary(rep)
+	if *jsonOut != "" {
+		if err := writeTo(*jsonOut, rep.WriteJSON); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *csvOut != "" {
+		if err := writeTo(*csvOut, rep.WriteCSV); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// printSummary renders the per-point table: every metric's mean with its
+// 95% bootstrap CI.
+func printSummary(rep *campaign.Report) {
+	metrics := rep.MetricNames()
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "point\tconfiguration\tmetric\tmean\t95%% CI\tp95\n")
+	for _, ps := range rep.Points {
+		for _, m := range metrics {
+			d, ok := ps.Metrics[m]
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(tw, "%d\t%s\t%s\t%.4g\t[%.4g, %.4g]\t%.4g\n",
+				ps.Point.ID, ps.Point.Label(), m, d.Mean, d.CILo, d.CIHi, d.P95)
+		}
+	}
+	tw.Flush()
+}
+
+func writeTo(path string, write func(w io.Writer) error) error {
+	if path == "-" {
+		return write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -2,6 +2,11 @@
 // measure a workload on a baseline cluster, model it, predict and simulate
 // a target cluster, and feed measurements back until the prediction
 // converges.
+//
+// With -sweep, it instead runs the loop for every ordered (baseline,
+// target) device pair, with repetitions, in parallel on the campaign
+// runner's worker pool, and reports per-pair convergence statistics —
+// the what-if exploration mode.
 package main
 
 import (
@@ -9,11 +14,15 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
+	"text/tabwriter"
 
 	"pioeval/internal/blockdev"
+	"pioeval/internal/campaign"
 	"pioeval/internal/core"
 	"pioeval/internal/iolang"
 	"pioeval/internal/pfs"
+	"pioeval/internal/stats"
 )
 
 const defaultScript = `
@@ -36,6 +45,9 @@ func main() {
 	iters := fs.Int("iterations", 4, "max feedback iterations")
 	tol := fs.Float64("tolerance", 0.25, "relative error tolerance")
 	seed := fs.Int64("seed", 42, "simulation seed")
+	sweep := fs.String("sweep", "", "comma-separated device list: run every ordered (baseline, target) pair in parallel")
+	sweepReps := fs.Int("sweep-reps", 3, "repetitions per device pair in sweep mode")
+	workers := fs.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
 	_ = fs.Parse(os.Args[1:])
 
 	script := defaultScript
@@ -51,20 +63,9 @@ func main() {
 		log.Fatal(err)
 	}
 
-	mkCfg := func(dev string) pfs.Config {
-		cfg := pfs.DefaultConfig()
-		cfg.NumIONodes = 0
-		switch dev {
-		case "hdd":
-			cfg.OSTDevice = func() blockdev.Model { return blockdev.DefaultHDD() }
-		case "ssd":
-			cfg.OSTDevice = func() blockdev.Model { return blockdev.DefaultSSD() }
-		case "nvme":
-			cfg.OSTDevice = func() blockdev.Model { return blockdev.DefaultNVMe() }
-		default:
-			log.Fatalf("unknown device %q", dev)
-		}
-		return cfg
+	if *sweep != "" {
+		runSweep(wl, strings.Split(*sweep, ","), *sweepReps, *iters, *tol, *seed, *workers)
+		return
 	}
 
 	res, err := core.RunCycle(core.CycleConfig{
@@ -95,4 +96,97 @@ func main() {
 	} else {
 		fmt.Printf("did not converge within %d iterations\n", *iters)
 	}
+}
+
+// mkCfg builds the flat-network deployment for one OST device model.
+func mkCfg(dev string) pfs.Config {
+	cfg := pfs.DefaultConfig()
+	cfg.NumIONodes = 0
+	switch dev {
+	case "hdd":
+		cfg.OSTDevice = func() blockdev.Model { return blockdev.DefaultHDD() }
+	case "ssd":
+		cfg.OSTDevice = func() blockdev.Model { return blockdev.DefaultSSD() }
+	case "nvme":
+		cfg.OSTDevice = func() blockdev.Model { return blockdev.DefaultNVMe() }
+	default:
+		log.Fatalf("unknown device %q", dev)
+	}
+	return cfg
+}
+
+// pairOutcome is one evaluation-cycle run in sweep mode.
+type pairOutcome struct {
+	baseline, target string
+	firstErr         float64
+	finalErr         float64
+	iterations       int
+	converged        bool
+}
+
+// runSweep executes the Figure-4 loop for every ordered (baseline, target)
+// device pair, reps times each, on the campaign worker pool, and prints
+// per-pair convergence distributions. Per-run seeds derive from
+// (seed, run index) exactly as in a grid campaign, so the sweep is
+// reproducible at any worker count.
+func runSweep(wl *iolang.Workload, devices []string, reps, iters int, tol float64, seed int64, workers int) {
+	var pairs [][2]string
+	for _, b := range devices {
+		for _, t := range devices {
+			b, t = strings.TrimSpace(b), strings.TrimSpace(t)
+			if b != t {
+				pairs = append(pairs, [2]string{b, t})
+			}
+		}
+	}
+	if len(pairs) == 0 {
+		log.Fatal("sweep needs at least two distinct devices")
+	}
+	outcomes := make([]pairOutcome, len(pairs)*reps)
+	campaign.Pool(len(outcomes), campaign.Options{Workers: workers, OnProgress: func(p campaign.Progress) {
+		fmt.Fprintf(os.Stderr, "\rcycle %d/%d elapsed %v eta %v   ", p.Done, p.Total,
+			p.Elapsed.Round(10_000_000), p.ETA.Round(10_000_000))
+		if p.Done == p.Total {
+			fmt.Fprintln(os.Stderr)
+		}
+	}}, func(i int) {
+		pair := pairs[i/reps]
+		res, err := core.RunCycle(core.CycleConfig{
+			Seed:          campaign.RunSeed(seed, i),
+			Baseline:      mkCfg(pair[0]),
+			Target:        mkCfg(pair[1]),
+			Source:        core.SyntheticSource{Workload: wl},
+			MaxIterations: iters,
+			Tolerance:     tol,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		outcomes[i] = pairOutcome{
+			baseline: pair[0], target: pair[1],
+			firstErr:   res.Iterations[0].RelError,
+			finalErr:   res.Iterations[len(res.Iterations)-1].RelError,
+			iterations: len(res.Iterations),
+			converged:  res.Converged,
+		}
+	})
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "baseline\ttarget\tfirst err (mean)\tfinal err (mean)\titerations (mean)\tconverged\n")
+	for pi, pair := range pairs {
+		var first, final, its []float64
+		conv := 0
+		for r := 0; r < reps; r++ {
+			o := outcomes[pi*reps+r]
+			first = append(first, o.firstErr)
+			final = append(final, o.finalErr)
+			its = append(its, float64(o.iterations))
+			if o.converged {
+				conv++
+			}
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%.3f\t%.3f\t%.1f\t%d/%d\n",
+			pair[0], pair[1], stats.Mean(first), stats.Mean(final), stats.Mean(its), conv, reps)
+	}
+	tw.Flush()
 }

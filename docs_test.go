@@ -1,0 +1,75 @@
+package pioeval_test
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestPackageDocComments enforces the documentation bar the repository
+// holds itself to: every internal/ package carries a package doc comment
+// (role, key types, consumers — see internal/trace or internal/des for
+// the style).
+func TestPackageDocComments(t *testing.T) {
+	dirs, err := filepath.Glob("internal/*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) < 20 {
+		t.Fatalf("expected the full internal/ tree, found %d packages", len(dirs))
+	}
+	for _, dir := range dirs {
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments|parser.PackageClauseOnly)
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		for name, pkg := range pkgs {
+			documented := false
+			for _, f := range pkg.Files {
+				if f.Doc != nil && strings.HasPrefix(f.Doc.Text(), "Package "+name) {
+					documented = true
+				}
+			}
+			if !documented {
+				t.Errorf("package %s (%s) has no package doc comment", name, dir)
+			}
+		}
+	}
+}
+
+// mdLink matches inline markdown links and captures the destination.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// TestMarkdownLinksResolve checks that every intra-repository link in the
+// top-level documentation resolves to an existing file or directory, so
+// the README's architecture map and the EXPERIMENTS runbook can't rot
+// silently.
+func TestMarkdownLinksResolve(t *testing.T) {
+	for _, doc := range []string{"README.md", "EXPERIMENTS.md", "DESIGN.md", "ROADMAP.md"} {
+		b, err := os.ReadFile(doc)
+		if err != nil {
+			t.Fatalf("%s: %v", doc, err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(b), -1) {
+			dest := m[1]
+			if strings.HasPrefix(dest, "http://") || strings.HasPrefix(dest, "https://") ||
+				strings.HasPrefix(dest, "mailto:") || strings.HasPrefix(dest, "#") {
+				continue
+			}
+			dest, _, _ = strings.Cut(dest, "#") // drop anchors
+			if dest == "" {
+				continue
+			}
+			if _, err := os.Stat(dest); err != nil {
+				t.Errorf("%s: broken intra-repo link %q", doc, m[1])
+			}
+		}
+	}
+}

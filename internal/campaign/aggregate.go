@@ -1,0 +1,93 @@
+package campaign
+
+import (
+	"sort"
+
+	"pioeval/internal/stats"
+)
+
+// Dist summarizes one metric's distribution over a point's repetitions.
+type Dist struct {
+	N      int     `json:"n"`
+	Mean   float64 `json:"mean"`
+	Median float64 `json:"median"`
+	P95    float64 `json:"p95"`
+	StdDev float64 `json:"stddev"`
+	// CILo/CIHi is the 95% bootstrap confidence interval for the mean.
+	CILo float64 `json:"ci_lo"`
+	CIHi float64 `json:"ci_hi"`
+}
+
+// PointSummary is one grid point with its aggregated metric distributions.
+type PointSummary struct {
+	Point   Point           `json:"point"`
+	Metrics map[string]Dist `json:"metrics"`
+}
+
+// Report is the aggregated outcome of a campaign: the echoed spec scalars,
+// every per-run result (the raw trajectory), and per-point distribution
+// summaries. Everything in a Report derives from simulated time and the
+// campaign seed — never from wall clocks — so its JSON form is
+// byte-identical across runs and worker counts.
+type Report struct {
+	Name     string         `json:"name"`
+	Workload string         `json:"workload"`
+	Seed     int64          `json:"seed"`
+	Reps     int            `json:"reps"`
+	Points   []PointSummary `json:"points"`
+	Runs     []RunResult    `json:"runs"`
+}
+
+// bootstrapResamples balances CI stability against campaign-aggregation
+// cost; 200 resamples bounds the CI quantile error well below the
+// simulator's own run-to-run variation.
+const bootstrapResamples = 200
+
+// aggregate groups runs by point and summarizes each metric.
+func aggregate(spec Spec, points []Point, runs []RunResult) *Report {
+	rep := &Report{
+		Name:     spec.Name,
+		Workload: spec.Workload,
+		Seed:     spec.Seed,
+		Reps:     spec.Reps,
+		Runs:     runs,
+	}
+	for _, p := range points {
+		samples := map[string][]float64{}
+		for i := p.ID * spec.Reps; i < (p.ID+1)*spec.Reps; i++ {
+			for k, v := range runs[i].Metrics {
+				samples[k] = append(samples[k], v)
+			}
+		}
+		ms := make(map[string]Dist, len(samples))
+		for k, xs := range samples {
+			s := stats.Summarize(xs)
+			// The CI seed mixes the point ID so each point resamples an
+			// independent, reproducible index stream.
+			ci := stats.BootstrapCI(xs, bootstrapResamples, 0.95, RunSeed(spec.Seed, -1-p.ID))
+			ms[k] = Dist{
+				N: s.N, Mean: s.Mean, Median: s.Median, P95: s.P95,
+				StdDev: s.StdDev, CILo: ci.Lo, CIHi: ci.Hi,
+			}
+		}
+		rep.Points = append(rep.Points, PointSummary{Point: p, Metrics: ms})
+	}
+	return rep
+}
+
+// MetricNames returns the sorted union of metric names across all points,
+// the stable column order for tabular output.
+func (r *Report) MetricNames() []string {
+	seen := map[string]bool{}
+	for _, ps := range r.Points {
+		for k := range ps.Metrics {
+			seen[k] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

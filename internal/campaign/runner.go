@@ -1,0 +1,243 @@
+package campaign
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"pioeval/internal/blockdev"
+	"pioeval/internal/burstbuffer"
+	"pioeval/internal/des"
+	"pioeval/internal/faults"
+	"pioeval/internal/pfs"
+	"pioeval/internal/workload"
+)
+
+// Progress reports pool advancement to an observer; Done counts completed
+// runs out of Total, and ETA extrapolates the remaining wall-clock time
+// from the observed completion rate.
+type Progress struct {
+	Done, Total int
+	Elapsed     time.Duration
+	ETA         time.Duration
+}
+
+// Options configures campaign execution. The zero value sizes the pool to
+// GOMAXPROCS and reports no progress.
+type Options struct {
+	// Workers bounds simultaneous simulations; <= 0 selects GOMAXPROCS.
+	Workers int
+	// OnProgress, when non-nil, is invoked (serialized) after every
+	// completed run. Progress observation is wall-clock dependent and must
+	// therefore never feed into the Report.
+	OnProgress func(Progress)
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Pool runs fn(i) for every i in [0, n) on a bounded worker pool. fn must
+// write its result into caller-owned storage indexed by i; the pool
+// imposes no ordering, so determinism comes from indexing, never from
+// completion order. Pool is the generic substrate under Run and is
+// exported for callers with non-grid sweeps (cmd/evalcycle's device-pair
+// sweep uses it directly).
+func Pool(n int, opt Options, fn func(i int)) {
+	workers := opt.workers()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			fn(i)
+			notifyProgress(opt, i+1, n, start)
+		}
+		return
+	}
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		done int
+	)
+	start := time.Now()
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+				mu.Lock()
+				done++
+				notifyProgress(opt, done, n, start)
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}
+
+func notifyProgress(opt Options, done, total int, start time.Time) {
+	if opt.OnProgress == nil {
+		return
+	}
+	p := Progress{Done: done, Total: total, Elapsed: time.Since(start)}
+	if done > 0 && done < total {
+		p.ETA = time.Duration(float64(p.Elapsed) / float64(done) * float64(total-done))
+	}
+	opt.OnProgress(p)
+}
+
+// RunResult is one simulation's outcome. Metrics keys are stable
+// per-workload names (write_MBps, makespan_ms, ...); encoding/json sorts
+// map keys, so serialization is deterministic.
+type RunResult struct {
+	Point   int                `json:"point"`
+	Rep     int                `json:"rep"`
+	Seed    int64              `json:"seed"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Run expands spec, executes every (point, repetition) pair on the worker
+// pool, and returns the aggregated report. The report is bit-identical
+// for a given spec regardless of opt.Workers.
+func Run(spec Spec, opt Options) (*Report, error) {
+	spec = spec.withDefaults()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	points := spec.Expand()
+	total := len(points) * spec.Reps
+	runs := make([]RunResult, total)
+	Pool(total, opt, func(i int) {
+		p := points[i/spec.Reps]
+		runs[i] = RunResult{
+			Point:   p.ID,
+			Rep:     i % spec.Reps,
+			Seed:    RunSeed(spec.Seed, i),
+			Metrics: simulate(spec, p, RunSeed(spec.Seed, i)),
+		}
+	})
+	return aggregate(spec, points, runs), nil
+}
+
+// clusterConfig builds the PFS deployment for one grid point: the default
+// Figure-1 cluster with a flat network, the point's device model and
+// stripe geometry, and — whenever faults are injected — the default
+// client resilience policy, so faulted runs measure degradation rather
+// than immediate failure.
+func clusterConfig(p Point) pfs.Config {
+	cfg := pfs.DefaultConfig()
+	cfg.NumIONodes = 0
+	cfg.DefaultStripeCount = p.StripeCount
+	cfg.DefaultStripeSize = p.StripeSize
+	switch p.Device {
+	case "ssd":
+		cfg.OSTDevice = func() blockdev.Model { return blockdev.DefaultSSD() }
+	case "nvme":
+		cfg.OSTDevice = func() blockdev.Model { return blockdev.DefaultNVMe() }
+	default:
+		cfg.OSTDevice = func() blockdev.Model { return blockdev.DefaultHDD() }
+	}
+	if p.Faults != "" {
+		cfg.Resilience = pfs.DefaultResilience()
+	}
+	return cfg
+}
+
+// simulate executes one run: a fresh engine and cluster, the point's
+// fault campaign (if any), and the spec's workload, reduced to a flat
+// metric map.
+func simulate(spec Spec, p Point, seed int64) map[string]float64 {
+	e := des.NewEngine(seed)
+	fs := pfs.New(e, clusterConfig(p))
+	if p.Faults != "" {
+		c, err := faults.ParseCampaign(p.Faults)
+		if err != nil {
+			panic(fmt.Sprintf("campaign: unvalidated fault spec %q: %v", p.Faults, err))
+		}
+		if _, err := faults.Run(e, fs, c); err != nil {
+			panic(fmt.Sprintf("campaign: fault campaign %q: %v", p.Faults, err))
+		}
+	}
+	h := workload.NewHarness(e, fs, p.Ranks, "camp", nil)
+	var m map[string]float64
+	switch spec.Workload {
+	case WorkloadCheckpoint:
+		m = simulateCheckpoint(e, fs, h, spec, p)
+	default:
+		m = simulateIOR(h, p)
+	}
+	st := fs.ClientStatsTotal()
+	m["retries"] = float64(st.Retries)
+	m["timed_out_rpcs"] = float64(st.TimedOutRPCs)
+	m["failed_rpcs"] = float64(st.FailedRPCs)
+	return m
+}
+
+func simulateIOR(h *workload.Harness, p Point) map[string]float64 {
+	var pat workload.Pattern
+	switch p.Pattern {
+	case "strided":
+		pat = workload.Strided
+	case "random":
+		pat = workload.Random
+	default:
+		pat = workload.Sequential
+	}
+	rep := workload.RunIOR(h, workload.IORConfig{
+		Ranks:        p.Ranks,
+		BlockSize:    p.BlockSize,
+		TransferSize: p.TransferSize,
+		SharedFile:   true,
+		Pattern:      pat,
+		ReadBack:     true,
+		Collective:   p.Collective,
+		StripeCount:  p.StripeCount,
+		StripeSize:   p.StripeSize,
+	})
+	return map[string]float64{
+		"write_MBps":  rep.WriteMBps,
+		"read_MBps":   rep.ReadMBps,
+		"makespan_ms": rep.Makespan.Seconds() * 1e3,
+	}
+}
+
+func simulateCheckpoint(e *des.Engine, fs *pfs.FS, h *workload.Harness, spec Spec, p Point) map[string]float64 {
+	var bb *burstbuffer.Buffer
+	if p.BurstBuffer {
+		bb = burstbuffer.New(e, fs, "bb0", burstbuffer.DefaultConfig())
+	}
+	rep := workload.RunCheckpoint(h, workload.CheckpointConfig{
+		Ranks:        p.Ranks,
+		BytesPerRank: p.BlockSize,
+		Steps:        spec.Steps,
+		ComputeTime:  stepDuration,
+		TransferSize: p.TransferSize,
+		ReuseFile:    true,
+		Buffer:       bb,
+	})
+	worst := des.Time(0)
+	for _, d := range rep.StepIOTime {
+		if d > worst {
+			worst = d
+		}
+	}
+	return map[string]float64{
+		"effective_MBps": rep.EffectiveMBps,
+		"makespan_ms":    rep.Makespan.Seconds() * 1e3,
+		"io_fraction":    rep.IOFraction,
+		"io_errors":      float64(rep.IOErrors),
+		"worst_step_ms":  worst.Seconds() * 1e3,
+	}
+}

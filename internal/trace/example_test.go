@@ -1,0 +1,43 @@
+package trace_test
+
+import (
+	"fmt"
+
+	"pioeval/internal/des"
+	"pioeval/internal/trace"
+)
+
+// ExampleCollector shows the tracing workflow: layers of the simulated
+// I/O stack emit records into a collector, and analyses filter and
+// summarize them afterwards.
+func ExampleCollector() {
+	col := trace.NewCollector()
+	col.Emit(trace.Record{
+		Rank: 0, Layer: trace.LayerPOSIX, Op: "write", Path: "/ckpt",
+		Size: 1 << 20, Start: 0, End: 2 * des.Millisecond,
+	})
+	col.Emit(trace.Record{
+		Rank: 0, Layer: trace.LayerPFS, Op: "write_rpc", Path: "/ckpt",
+		Size: 1 << 20, Start: des.Millisecond / 2, End: 2 * des.Millisecond,
+	})
+	posix := trace.ByLayer(col.Records(), trace.LayerPOSIX)
+	fmt.Printf("%d records, %d at the POSIX layer\n", col.Len(), len(posix))
+	fmt.Printf("first POSIX op: %s %s (%v)\n", posix[0].Op, posix[0].Path, posix[0].Duration())
+	// Output:
+	// 2 records, 1 at the POSIX layer
+	// first POSIX op: write /ckpt (2ms)
+}
+
+// ExampleSummarize condenses a record stream into the headline counters a
+// Darshan-style report would print.
+func ExampleSummarize() {
+	recs := []trace.Record{
+		{Rank: 0, Layer: trace.LayerPOSIX, Op: "write", Size: 4 << 20, Start: 0, End: 8 * des.Millisecond},
+		{Rank: 1, Layer: trace.LayerPOSIX, Op: "read", Size: 1 << 20, Start: 0, End: 3 * des.Millisecond},
+	}
+	s := trace.Summarize(recs)
+	fmt.Printf("ranks %d, %d written, %d read, span %v\n",
+		s.Ranks, s.BytesWritten, s.BytesRead, s.Span)
+	// Output:
+	// ranks 2, 4194304 written, 1048576 read, span 8ms
+}
