@@ -19,6 +19,8 @@ import (
 	"io"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"text/tabwriter"
 
 	"pioeval/internal/campaign"
@@ -52,7 +54,33 @@ func main() {
 	csvOut := fs.String("csv", "", "write per-point summaries as CSV to this file (- for stdout)")
 	listOnly := fs.Bool("points", false, "print the expanded grid and exit without running")
 	quiet := fs.Bool("quiet", false, "suppress progress output")
+	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile of the campaign to this file")
+	memprofile := fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	_ = fs.Parse(os.Args[1:])
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
 
 	src := defaultSpec
 	if fs.NArg() == 1 {

@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 
 	"pioeval/internal/cli"
@@ -28,10 +30,35 @@ func main() {
 	sample := fs.Bool("sample", false, "print sampled bandwidth series")
 	faultSpec := fs.String("faults", "", "fault campaign, e.g. 'ostcrash:1@100ms; ostrecover:1@700ms; mdsdown@1s; mdsup@1.5s'")
 	resilient := fs.Bool("resilient", false, "enable the default client resilience policy (timeouts, retries, degraded reads)")
+	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile of the simulation to this file")
+	memprofile := fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	_ = fs.Parse(os.Args[1:])
 
 	if fs.NArg() != 1 {
 		log.Fatal("usage: simfs [flags] <workload.iol>")
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+		}()
 	}
 	src, err := os.ReadFile(fs.Arg(0))
 	if err != nil {

@@ -52,7 +52,9 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// segment is one staged write awaiting drain.
+// segment is one staged write awaiting drain. The zero segment (size 0)
+// is the drain-worker shutdown sentinel; real staged writes always have
+// size > 0.
 type segment struct {
 	path string
 	off  int64
@@ -69,7 +71,7 @@ type Buffer struct {
 	dev  *blockdev.Device
 
 	used     int64
-	pending  *des.Queue
+	pending  *des.Queue[segment]
 	notFull  *des.Signal
 	idle     *des.Signal
 	inFlight int
@@ -97,7 +99,7 @@ func New(e *des.Engine, fs *pfs.FS, node string, cfg Config) *Buffer {
 	b := &Buffer{
 		eng: e, fs: fs, cfg: cfg, node: node,
 		dev:         blockdev.NewDevice(e, "bb."+node, cfg.Device(), cfg.QueueDepth),
-		pending:     des.NewQueue(e, "bb."+node+".drain"),
+		pending:     des.NewQueue[segment](e, "bb."+node+".drain"),
 		notFull:     des.NewSignal(e),
 		idle:        des.NewSignal(e),
 		drainClient: fs.NewClient(node),
@@ -115,9 +117,8 @@ func (b *Buffer) Node() string { return b.node }
 // drainLoop pulls staged segments and writes them to the PFS.
 func (b *Buffer) drainLoop(p *des.Proc) {
 	for {
-		item := b.pending.Get(p)
-		seg, ok := item.(segment)
-		if !ok {
+		seg := b.pending.Get(p)
+		if seg.size == 0 {
 			return // shutdown sentinel
 		}
 		b.inFlight++
@@ -154,7 +155,7 @@ func (b *Buffer) drainLoop(p *des.Proc) {
 // simply persist until the simulation ends.
 func (b *Buffer) Shutdown() {
 	for i := 0; i < b.cfg.DrainWorkers; i++ {
-		b.pending.Put(nil)
+		b.pending.Put(segment{})
 	}
 }
 

@@ -20,6 +20,30 @@ func BenchmarkEventThroughput(b *testing.B) {
 	e.Run(MaxTime)
 }
 
+// BenchmarkEngineEventChurn measures schedule+dispatch cost with a standing
+// population of 256 timers, the realistic regime for cluster simulations
+// where many devices and clients hold pending events simultaneously. This
+// is the headline ns/event and allocs/event number for the kernel.
+func BenchmarkEngineEventChurn(b *testing.B) {
+	e := NewEngine(1)
+	const standing = 256
+	remaining := b.N
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < standing; i++ {
+		period := Time(i%61 + 1)
+		var fire func()
+		fire = func() {
+			if remaining > 0 {
+				remaining--
+				e.After(period, fire)
+			}
+		}
+		e.After(period, fire)
+	}
+	e.Run(MaxTime)
+}
+
 // BenchmarkProcContextSwitch measures the goroutine-handoff cost of one
 // process Wait — the price of the process-oriented (coroutine) API
 // compared to raw callbacks.
@@ -30,6 +54,21 @@ func BenchmarkProcContextSwitch(b *testing.B) {
 			p.Wait(1)
 		}
 	})
+	b.ResetTimer()
+	e.Run(MaxTime)
+}
+
+// BenchmarkProcHandoff measures a full suspend/resume cycle of a simulated
+// process including allocation accounting: every Wait schedules a wake,
+// parks the goroutine, and hands control back to the engine loop.
+func BenchmarkProcHandoff(b *testing.B) {
+	e := NewEngine(1)
+	e.Spawn("p", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Wait(1)
+		}
+	})
+	b.ReportAllocs()
 	b.ResetTimer()
 	e.Run(MaxTime)
 }
@@ -50,6 +89,30 @@ func BenchmarkResourceContention(b *testing.B) {
 			}
 		})
 	}
+	b.ResetTimer()
+	e.Run(MaxTime)
+}
+
+// BenchmarkQueuePingPong measures message-passing cost: two processes
+// exchange a token through a pair of queues, the pattern under every
+// simulated MPI point-to-point channel and server request queue.
+func BenchmarkQueuePingPong(b *testing.B) {
+	e := NewEngine(1)
+	ab := NewQueue[int](e, "ab")
+	ba := NewQueue[int](e, "ba")
+	e.Spawn("a", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			ab.Put(i)
+			ba.Get(p)
+		}
+	})
+	e.Spawn("b", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			ab.Get(p)
+			ba.Put(i)
+		}
+	})
+	b.ReportAllocs()
 	b.ResetTimer()
 	e.Run(MaxTime)
 }

@@ -9,10 +9,15 @@
 // The package is the substrate for every simulator in this repository: the
 // network fabric, the parallel file system, the MPI runtime, and the burst
 // buffer are all built from des processes and resources.
+//
+// The event path is allocation-free in steady state: events live in an
+// index-stable pooled slot array recycled through a freelist, ordered by an
+// inlined 4-ary min-heap of slot indices, and events scheduled for the
+// current timestamp during dispatch bypass the heap entirely through a FIFO
+// ring. See DESIGN.md ("DES kernel internals") for the invariants.
 package des
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -53,49 +58,67 @@ func (t Time) String() string {
 // FromSeconds converts floating-point seconds into simulated Time.
 func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
 
-// event is a scheduled occurrence in virtual time.
+// event is a scheduled occurrence in virtual time, stored in the engine's
+// pooled slot array. Slots are index-stable: the heap and the immediate
+// ring reference events by pool index, and freed slots are recycled
+// through a freelist, so steady-state scheduling allocates nothing.
 type event struct {
-	at   Time
-	seq  uint64 // tie-breaker for determinism: FIFO among simultaneous events
+	at  Time
+	seq uint64 // tie-breaker for determinism: FIFO among simultaneous events
+	// Exactly one of fire/proc is set: fire is a callback, proc is a
+	// blocked process the engine resumes directly (no closure needed).
 	fire func()
-	// canceled events stay in the heap but are skipped when popped.
+	proc *Proc
+	// gen is bumped every time the slot is freed; cancel handles capture
+	// (index, gen) so a stale cancel of a recycled slot is a no-op.
+	gen uint32
+	// canceled events stay queued but are skipped (and freed) when popped;
+	// the heap is compacted once they outnumber live entries.
 	canceled bool
 }
 
-// eventHeap orders events by (time, sequence).
-type eventHeap []*event
+// minCompact is the heap size below which lazy-canceled events are never
+// compacted eagerly — popping them is cheaper than rebuilding.
+const minCompact = 64
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
+// heapEntry carries the ordering key next to the slot index so heap sifts
+// compare within the heap array itself instead of chasing pool slots.
+type heapEntry struct {
+	at  Time
+	seq uint64
+	idx int32
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+
+// before reports heap ordering: earlier time first, then FIFO by sequence.
+func (a heapEntry) before(b heapEntry) bool {
+	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
 }
 
 // Engine drives a single simulation. The zero value is not usable; call
 // NewEngine.
 type Engine struct {
-	now    Time
-	seq    uint64
-	events eventHeap
+	now Time
+	seq uint64
+
+	pool []event     // index-stable event slots
+	free []int32     // recycled slot indices
+	heap []heapEntry // 4-ary min-heap ordered by (at, seq)
+
+	// imm is the direct-dispatch FIFO for events scheduled at the current
+	// timestamp while the engine is dispatching: they never touch the
+	// heap. immHead indexes the next entry; the slice is reset when
+	// drained so the backing array is reused.
+	imm     []int32
+	immHead int
+
+	// canceled counts lazily-canceled events still queued (heap or imm).
+	canceled int
 
 	// Process scheduling: the engine hands control to one process goroutine
 	// at a time and waits for it to yield back.
 	yield chan struct{}
 
 	running   bool
-	stopped   bool
 	procs     int // live process count, for leak detection
 	nextPID   int
 	rng       *StreamRNG
@@ -121,29 +144,188 @@ func (e *Engine) RNG() *StreamRNG { return e.rng }
 // tests and debug tooling. Pass nil to disable.
 func (e *Engine) SetTraceHook(fn func(at Time, what string)) { e.tracehook = fn }
 
-// schedule enqueues fn to run at absolute time at. It returns the event so
-// callers can cancel it.
-func (e *Engine) schedule(at Time, fn func()) *event {
+// alloc takes a slot from the freelist (or grows the pool) and stamps it
+// with the next sequence number.
+func (e *Engine) alloc(at Time, fn func(), p *Proc) int32 {
+	var idx int32
+	if n := len(e.free) - 1; n >= 0 {
+		idx = e.free[n]
+		e.free = e.free[:n]
+	} else {
+		e.pool = append(e.pool, event{})
+		idx = int32(len(e.pool) - 1)
+	}
+	ev := &e.pool[idx]
+	ev.at = at
+	ev.seq = e.seq
+	ev.fire = fn
+	ev.proc = p
+	e.seq++
+	return idx
+}
+
+// freeSlot returns a slot to the freelist, dropping its references and
+// invalidating any outstanding cancel handle.
+func (e *Engine) freeSlot(idx int32) {
+	ev := &e.pool[idx]
+	ev.fire = nil
+	ev.proc = nil
+	ev.canceled = false
+	ev.gen++
+	e.free = append(e.free, idx)
+}
+
+// schedule enqueues an occurrence at absolute time at — either callback fn
+// or a direct resume of process p — and returns its slot index. Same-time
+// events scheduled during dispatch take the heap-free immediate path.
+func (e *Engine) schedule(at Time, fn func(), p *Proc) int32 {
 	if at < e.now {
 		panic(fmt.Sprintf("des: scheduling into the past: at=%v now=%v", at, e.now))
 	}
-	ev := &event{at: at, seq: e.seq, fire: fn}
-	e.seq++
-	heap.Push(&e.events, ev)
-	return ev
+	idx := e.alloc(at, fn, p)
+	if e.running && at == e.now {
+		e.imm = append(e.imm, idx)
+	} else {
+		e.heapPush(idx)
+	}
+	return idx
+}
+
+// heapPush inserts slot idx into the 4-ary heap.
+func (e *Engine) heapPush(idx int32) {
+	ev := &e.pool[idx]
+	e.heap = append(e.heap, heapEntry{at: ev.at, seq: ev.seq, idx: idx})
+	e.siftUp(len(e.heap) - 1)
+}
+
+// heapPop removes and returns the minimum slot index.
+func (e *Engine) heapPop() int32 {
+	h := e.heap
+	top := h[0].idx
+	n := len(h) - 1
+	h[0] = h[n]
+	e.heap = h[:n]
+	if n > 0 {
+		e.siftDown(0)
+	}
+	return top
+}
+
+func (e *Engine) siftUp(i int) {
+	h := e.heap
+	item := h[i]
+	for i > 0 {
+		pi := (i - 1) >> 2
+		if h[pi].before(item) {
+			break
+		}
+		h[i] = h[pi]
+		i = pi
+	}
+	h[i] = item
+}
+
+func (e *Engine) siftDown(i int) {
+	h := e.heap
+	n := len(h)
+	item := h[i]
+	for {
+		first := i<<2 + 1
+		if first >= n {
+			break
+		}
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		kids := h[first:last]
+		best := 0
+		bv := kids[0]
+		for c := 1; c < len(kids); c++ {
+			if kids[c].before(bv) {
+				best, bv = c, kids[c]
+			}
+		}
+		if item.before(bv) {
+			break
+		}
+		h[i] = bv
+		i = first + best
+	}
+	h[i] = item
+}
+
+// maybeCompact rebuilds the heap without canceled entries once they exceed
+// half of it, bounding the memory and pop-skip cost of lazy cancellation.
+func (e *Engine) maybeCompact() {
+	if e.canceled < minCompact || e.canceled*2 <= len(e.heap) {
+		return
+	}
+	kept := e.heap[:0]
+	for _, he := range e.heap {
+		if e.pool[he.idx].canceled {
+			e.canceled--
+			e.freeSlot(he.idx)
+		} else {
+			kept = append(kept, he)
+		}
+	}
+	e.heap = kept
+	if n := len(e.heap); n > 1 {
+		for i := (n - 2) >> 2; i >= 0; i-- {
+			e.siftDown(i)
+		}
+	}
 }
 
 // After schedules fn to run after delay d. Callback-style scheduling; most
 // code should prefer processes (Spawn) instead.
 func (e *Engine) After(d Time, fn func()) {
-	e.schedule(e.now+d, fn)
+	e.schedule(e.now+d, fn, nil)
 }
 
 // AfterCancel schedules fn after delay d and returns a cancel function
 // (idempotent; a no-op once the event has fired). Timeout modeling.
+// Cancellation is lazy — the slot stays queued and is skipped when popped
+// — with heap compaction once canceled entries exceed half the heap.
 func (e *Engine) AfterCancel(d Time, fn func()) (cancel func()) {
-	ev := e.schedule(e.now+d, fn)
-	return func() { ev.canceled = true }
+	idx := e.schedule(e.now+d, fn, nil)
+	gen := e.pool[idx].gen
+	return func() {
+		ev := &e.pool[idx]
+		if ev.gen != gen || ev.canceled {
+			return // already fired, freed, or canceled
+		}
+		ev.canceled = true
+		ev.fire = nil // release the closure now; the slot may linger
+		e.canceled++
+		e.maybeCompact()
+	}
+}
+
+// next selects the lowest-(at, seq) pending event: the head of the
+// immediate ring, unless an earlier-scheduled heap event shares the
+// current timestamp. Time never advances while the immediate ring is
+// non-empty, because its entries are always stamped at the current time.
+func (e *Engine) next() (int32, bool) {
+	if e.immHead < len(e.imm) {
+		idx := e.imm[e.immHead]
+		if len(e.heap) > 0 {
+			if top := e.heap[0]; top.at == e.now && top.seq < e.pool[idx].seq {
+				return e.heapPop(), true
+			}
+		}
+		e.immHead++
+		if e.immHead == len(e.imm) {
+			e.imm = e.imm[:0]
+			e.immHead = 0
+		}
+		return idx, true
+	}
+	if len(e.heap) > 0 {
+		return e.heapPop(), true
+	}
+	return 0, false
 }
 
 // Run executes events until the event queue empties or until the clock
@@ -154,43 +336,68 @@ func (e *Engine) Run(horizon Time) Time {
 	}
 	e.running = true
 	defer func() { e.running = false }()
-	for len(e.events) > 0 {
-		ev := heap.Pop(&e.events).(*event)
+	for {
+		idx, ok := e.next()
+		if !ok {
+			break
+		}
+		ev := &e.pool[idx]
 		if ev.canceled {
+			e.canceled--
+			e.freeSlot(idx)
 			continue
 		}
 		if ev.at > horizon {
 			// Put it back for a future Run call and stop.
-			heap.Push(&e.events, ev)
+			e.heapPush(idx)
 			e.now = horizon
 			return e.now
 		}
 		e.now = ev.at
+		fire, proc := ev.fire, ev.proc
+		e.freeSlot(idx)
 		if e.tracehook != nil {
 			e.tracehook(e.now, "event")
 		}
-		ev.fire()
+		if proc != nil {
+			// Direct handoff: resume the blocked process goroutine and
+			// wait for it to yield control back. One reusable rendezvous
+			// per switch; no scheduled closure.
+			proc.resume <- struct{}{}
+			<-e.yield
+		} else {
+			fire()
+		}
 	}
 	return e.now
 }
 
 // NextEventTime returns the timestamp of the earliest pending event.
 func (e *Engine) NextEventTime() (Time, bool) {
-	for len(e.events) > 0 {
-		if e.events[0].canceled {
-			heap.Pop(&e.events)
+	for i := e.immHead; i < len(e.imm); i++ {
+		if !e.pool[e.imm[i]].canceled {
+			return e.pool[e.imm[i]].at, true
+		}
+	}
+	for len(e.heap) > 0 {
+		top := e.heap[0]
+		if e.pool[top.idx].canceled {
+			e.heapPop()
+			e.canceled--
+			e.freeSlot(top.idx)
 			continue
 		}
-		return e.events[0].at, true
+		return top.at, true
 	}
 	return 0, false
 }
 
 // AdvanceTo moves the clock forward to t without executing anything; used
-// by the parallel runner to keep idle partitions in step. It panics if t
-// precedes a pending event.
+// by the parallel runner to keep idle partitions in step. A t at or before
+// the current time is an explicit no-op: the clock never moves backward.
+// It panics if t would skip over a pending event.
 func (e *Engine) AdvanceTo(t Time) {
-	if t < e.now {
+	if t <= e.now {
 		return
 	}
 	if at, ok := e.NextEventTime(); ok && at < t {
@@ -202,8 +409,13 @@ func (e *Engine) AdvanceTo(t Time) {
 // Pending reports the number of scheduled (non-canceled) events.
 func (e *Engine) Pending() int {
 	n := 0
-	for _, ev := range e.events {
-		if !ev.canceled {
+	for _, he := range e.heap {
+		if !e.pool[he.idx].canceled {
+			n++
+		}
+	}
+	for i := e.immHead; i < len(e.imm); i++ {
+		if !e.pool[e.imm[i]].canceled {
 			n++
 		}
 	}

@@ -199,11 +199,11 @@ func TestTryAcquire(t *testing.T) {
 
 func TestQueuePutGet(t *testing.T) {
 	e := NewEngine(1)
-	q := NewQueue(e, "q")
+	q := NewQueue[int](e, "q")
 	var got []int
 	e.Spawn("consumer", func(p *Proc) {
 		for i := 0; i < 3; i++ {
-			got = append(got, q.Get(p).(int))
+			got = append(got, q.Get(p))
 		}
 	})
 	e.Spawn("producer", func(p *Proc) {
@@ -225,13 +225,13 @@ func TestQueuePutGet(t *testing.T) {
 
 func TestQueueTryGet(t *testing.T) {
 	e := NewEngine(1)
-	q := NewQueue(e, "q")
+	q := NewQueue[string](e, "q")
 	if _, ok := q.TryGet(); ok {
 		t.Fatal("TryGet on empty queue should fail")
 	}
 	q.Put("a")
 	v, ok := q.TryGet()
-	if !ok || v.(string) != "a" {
+	if !ok || v != "a" {
 		t.Fatalf("TryGet = %v,%v; want a,true", v, ok)
 	}
 }
@@ -419,6 +419,214 @@ func TestEngineDeterminismAcrossRuns(t *testing.T) {
 	for i := range a {
 		if a[i] != b[i] {
 			t.Fatalf("run not deterministic: %v vs %v", a, b)
+		}
+	}
+}
+
+// TestAdvanceToPastIsNoOp pins the documented contract: moving the clock
+// to the current time or into the past is an explicit no-op, never a
+// panic and never a backward move.
+func TestAdvanceToPastIsNoOp(t *testing.T) {
+	e := NewEngine(1)
+	e.After(100, func() {})
+	e.Run(MaxTime)
+	e.AdvanceTo(50) // past: no-op
+	if e.Now() != 100 {
+		t.Fatalf("AdvanceTo(past) moved clock to %v, want 100", e.Now())
+	}
+	e.AdvanceTo(100) // present: no-op
+	if e.Now() != 100 {
+		t.Fatalf("AdvanceTo(now) moved clock to %v, want 100", e.Now())
+	}
+	e.AdvanceTo(200)
+	if e.Now() != 200 {
+		t.Fatalf("AdvanceTo(200) = %v", e.Now())
+	}
+}
+
+// TestAdvanceToSkipEventPanics pins the other branch of the contract: the
+// clock may not jump over a pending event.
+func TestAdvanceToSkipEventPanics(t *testing.T) {
+	e := NewEngine(1)
+	e.After(100, func() {})
+	defer func() {
+		if recover() == nil {
+			t.Error("AdvanceTo past a pending event should panic")
+		}
+	}()
+	e.AdvanceTo(150)
+}
+
+// TestQueueNoWaiterRetention is the regression test for the head-slice
+// leak: after getters are served, neither the item ring nor the getter
+// FIFO may keep popped entries reachable in their backing arrays.
+func TestQueueNoWaiterRetention(t *testing.T) {
+	e := NewEngine(1)
+	q := NewQueue[*int](e, "q")
+	served := 0
+	for i := 0; i < 5; i++ {
+		e.Spawn("c", func(p *Proc) {
+			if q.Get(p) != nil {
+				served++
+			}
+		})
+	}
+	e.Spawn("prod", func(p *Proc) {
+		p.Wait(10)
+		for i := 0; i < 5; i++ {
+			q.Put(new(int))
+		}
+	})
+	e.Run(MaxTime)
+	if served != 5 {
+		t.Fatalf("served = %d, want 5", served)
+	}
+	for i, w := range q.getters.buf {
+		if w != nil {
+			t.Errorf("getter slot %d retains a process reference", i)
+		}
+	}
+	for i := range q.buf {
+		if q.buf[i] != nil {
+			t.Errorf("item slot %d retains a delivered message", i)
+		}
+	}
+}
+
+// TestResourceNoWaiterRetention applies the same check to resource wait
+// queues, which share the FIFO implementation.
+func TestResourceNoWaiterRetention(t *testing.T) {
+	e := NewEngine(1)
+	r := NewResource(e, "r", 1)
+	for i := 0; i < 6; i++ {
+		e.Spawn("u", func(p *Proc) { r.Use(p, 10) })
+	}
+	e.Run(MaxTime)
+	for i, w := range r.waiters.buf {
+		if w != nil {
+			t.Errorf("waiter slot %d retains a process reference", i)
+		}
+	}
+}
+
+// TestQueueRingWrapFIFO drives the ring through wrap-around and a grow
+// while wrapped, checking strict FIFO order throughout.
+func TestQueueRingWrapFIFO(t *testing.T) {
+	e := NewEngine(1)
+	q := NewQueue[int](e, "q")
+	next, in := 0, 0
+	take := func(n int) {
+		for i := 0; i < n; i++ {
+			v, ok := q.TryGet()
+			if !ok || v != next {
+				t.Fatalf("TryGet = %d,%v; want %d,true", v, ok, next)
+			}
+			next++
+		}
+	}
+	put := func(n int) {
+		for i := 0; i < n; i++ {
+			q.Put(in)
+			in++
+		}
+	}
+	put(5)
+	take(3) // head advances: ring now wrapped relative to slot 0
+	put(10) // forces a grow while wrapped
+	take(12)
+	for round := 0; round < 20; round++ { // steady-state wrap cycling
+		put(7)
+		take(7)
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", q.Len())
+	}
+	if int(q.Puts()) != in {
+		t.Fatalf("Puts = %d, want %d", q.Puts(), in)
+	}
+}
+
+// TestAfterCancelCompaction cancels 400 of 500 pending timers and checks
+// that lazy cancellation compacts the heap (instead of retaining every
+// dead entry until pop) while the surviving events still fire in order.
+func TestAfterCancelCompaction(t *testing.T) {
+	e := NewEngine(1)
+	var fired []Time
+	var cancels []func()
+	for i := 1; i <= 500; i++ {
+		d := Time(i)
+		if i%5 == 0 {
+			e.After(d, func() { fired = append(fired, e.Now()) })
+		} else {
+			cancels = append(cancels, e.AfterCancel(d, func() { fired = append(fired, -1) }))
+		}
+	}
+	for _, c := range cancels {
+		c()
+	}
+	if got := e.Pending(); got != 100 {
+		t.Fatalf("Pending = %d, want 100", got)
+	}
+	if len(e.heap) > 200 {
+		t.Errorf("heap holds %d entries after canceling 400/500: compaction did not run", len(e.heap))
+	}
+	e.Run(MaxTime)
+	if len(fired) != 100 {
+		t.Fatalf("fired %d events, want 100", len(fired))
+	}
+	for i, at := range fired {
+		if at != Time((i+1)*5) {
+			t.Fatalf("fired[%d] = %v, want %v", i, at, Time((i+1)*5))
+		}
+	}
+}
+
+// TestCancelAfterFireIsNoOp checks the generation guard on recycled event
+// slots: a cancel handle kept past its event's firing must not cancel an
+// unrelated event that reuses the slot.
+func TestCancelAfterFireIsNoOp(t *testing.T) {
+	e := NewEngine(1)
+	fired := 0
+	cancel := e.AfterCancel(10, func() { fired++ })
+	e.Run(MaxTime)
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	later := false
+	e.After(5, func() { later = true }) // recycles the freed slot
+	cancel()                            // stale handle: must be a no-op
+	e.Run(MaxTime)
+	if !later {
+		t.Fatal("stale cancel killed an unrelated event in the recycled slot")
+	}
+}
+
+// TestImmediateDispatchOrdering pins the merge rule between the heap and
+// the same-time direct-dispatch ring: an event scheduled with zero delay
+// during dispatch fires at the same timestamp but after every same-time
+// event that was scheduled earlier.
+func TestImmediateDispatchOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var order []string
+	e.After(10, func() {
+		order = append(order, "A")
+		e.After(0, func() {
+			order = append(order, "C")
+			e.After(0, func() { order = append(order, "D") })
+		})
+	})
+	e.After(10, func() { order = append(order, "B") })
+	end := e.Run(MaxTime)
+	if end != 10 {
+		t.Fatalf("end = %v, want 10 (immediate events must not advance time)", end)
+	}
+	want := []string{"A", "B", "C", "D"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
 		}
 	}
 }

@@ -120,9 +120,7 @@ func (g *ParallelGroup) Run(horizon Time) Time {
 			return deliver[i].seq < deliver[j].seq
 		})
 		for _, ce := range deliver {
-			e := g.engines[ce.to]
-			fn := ce.fn
-			e.schedule(ce.at, fn)
+			g.engines[ce.to].schedule(ce.at, ce.fn, nil)
 		}
 
 		// Execute the window concurrently, one goroutine per partition.

@@ -19,7 +19,7 @@ func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 	p := &Proc{eng: e, pid: e.nextPID, name: name, resume: make(chan struct{})}
 	e.nextPID++
 	e.procs++
-	e.schedule(e.now, func() { p.start(fn) })
+	e.schedule(e.now, func() { p.start(fn) }, nil)
 	return p
 }
 
@@ -28,7 +28,7 @@ func (e *Engine) SpawnAt(d Time, name string, fn func(p *Proc)) *Proc {
 	p := &Proc{eng: e, pid: e.nextPID, name: name, resume: make(chan struct{})}
 	e.nextPID++
 	e.procs++
-	e.schedule(e.now+d, func() { p.start(fn) })
+	e.schedule(e.now+d, func() { p.start(fn) }, nil)
 	return p
 }
 
@@ -52,12 +52,11 @@ func (p *Proc) block() {
 	<-p.resume
 }
 
-// wake schedules the process to continue at time at.
+// wakeAt schedules the process to continue at time at. The wake is a
+// proc-carrying pooled event — no closure, no allocation — that the engine
+// loop dispatches as a direct goroutine handoff.
 func (p *Proc) wakeAt(at Time) {
-	p.eng.schedule(at, func() {
-		p.resume <- struct{}{}
-		<-p.eng.yield
-	})
+	p.eng.schedule(at, nil, p)
 }
 
 // wakeNow schedules the process to continue at the current time (after

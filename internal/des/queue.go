@@ -1,68 +1,125 @@
 package des
 
+// procFIFO is a ring-buffered FIFO of blocked processes, shared by queue
+// getters and resource wait lists. Unlike a head-sliced `[]*Proc`, popped
+// slots are cleared, so finished processes never linger reachable in the
+// backing array, and the ring is reused without further allocation.
+type procFIFO struct {
+	buf  []*Proc
+	head int
+	n    int
+}
+
+func (f *procFIFO) push(p *Proc) {
+	if f.n == len(f.buf) {
+		nb := make([]*Proc, max(8, 2*len(f.buf)))
+		for i := 0; i < f.n; i++ {
+			nb[i] = f.buf[(f.head+i)&(len(f.buf)-1)]
+		}
+		f.buf = nb
+		f.head = 0
+	}
+	f.buf[(f.head+f.n)&(len(f.buf)-1)] = p
+	f.n++
+}
+
+// pop removes and returns the longest-waiting process, or nil when empty.
+func (f *procFIFO) pop() *Proc {
+	if f.n == 0 {
+		return nil
+	}
+	p := f.buf[f.head]
+	f.buf[f.head] = nil
+	f.head = (f.head + 1) & (len(f.buf) - 1)
+	f.n--
+	return p
+}
+
+func (f *procFIFO) len() int { return f.n }
+
 // Queue is an unbounded FIFO message store for inter-process communication
 // in simulated time: Put never blocks, Get blocks until an item is present.
 // It is the building block for MPI point-to-point channels and server
-// request queues.
-type Queue struct {
-	eng     *Engine
-	name    string
-	items   []interface{}
-	getters []*Proc
+// request queues. Items live in a power-of-two ring buffer, so the
+// steady-state Put/Get cycle moves typed values without boxing and without
+// allocation, and popped slots are zeroed so the queue never retains
+// references to delivered messages.
+type Queue[T any] struct {
+	eng  *Engine
+	name string
+
+	buf  []T // power-of-two ring
+	head int
+	n    int
+
+	getters procFIFO
 
 	puts    uint64
 	peakLen int
 }
 
 // NewQueue creates an empty queue bound to engine e.
-func NewQueue(e *Engine, name string) *Queue {
-	return &Queue{eng: e, name: name}
+func NewQueue[T any](e *Engine, name string) *Queue[T] {
+	return &Queue[T]{eng: e, name: name}
 }
 
 // Put appends an item and wakes one waiting getter, if any.
 // Safe to call from process or event context.
-func (q *Queue) Put(v interface{}) {
-	q.items = append(q.items, v)
-	q.puts++
-	if len(q.items) > q.peakLen {
-		q.peakLen = len(q.items)
+func (q *Queue[T]) Put(v T) {
+	if q.n == len(q.buf) {
+		nb := make([]T, max(8, 2*len(q.buf)))
+		for i := 0; i < q.n; i++ {
+			nb[i] = q.buf[(q.head+i)&(len(q.buf)-1)]
+		}
+		q.buf = nb
+		q.head = 0
 	}
-	if len(q.getters) > 0 {
-		g := q.getters[0]
-		q.getters = q.getters[1:]
+	q.buf[(q.head+q.n)&(len(q.buf)-1)] = v
+	q.n++
+	q.puts++
+	if q.n > q.peakLen {
+		q.peakLen = q.n
+	}
+	if g := q.getters.pop(); g != nil {
 		g.wakeNow()
 	}
 }
 
 // Get removes and returns the oldest item, blocking until one is available.
-func (q *Queue) Get(p *Proc) interface{} {
-	for len(q.items) == 0 {
-		q.getters = append(q.getters, p)
+func (q *Queue[T]) Get(p *Proc) T {
+	for q.n == 0 {
+		q.getters.push(p)
 		p.block()
 	}
-	v := q.items[0]
-	q.items = q.items[1:]
-	return v
+	return q.take()
 }
 
 // TryGet removes and returns the oldest item without blocking.
-func (q *Queue) TryGet() (interface{}, bool) {
-	if len(q.items) == 0 {
-		return nil, false
+func (q *Queue[T]) TryGet() (T, bool) {
+	if q.n == 0 {
+		var zero T
+		return zero, false
 	}
-	v := q.items[0]
-	q.items = q.items[1:]
-	return v, true
+	return q.take(), true
+}
+
+func (q *Queue[T]) take() T {
+	v := q.buf[q.head]
+	var zero T
+	q.buf[q.head] = zero // do not retain delivered items
+	q.head = (q.head + 1) & (len(q.buf) - 1)
+	q.n--
+	return v
 }
 
 // Len reports the number of queued items.
-func (q *Queue) Len() int { return len(q.items) }
+func (q *Queue[T]) Len() int { return q.n }
 
 // PeakLen reports the maximum observed queue length.
-func (q *Queue) PeakLen() int { return q.peakLen }
+func (q *Queue[T]) PeakLen() int { return q.peakLen }
 
 // Puts reports the total number of items ever enqueued.
-func (q *Queue) Puts() uint64 { return q.puts }
+func (q *Queue[T]) Puts() uint64 { return q.puts }
 
 // Name returns the queue name.
-func (q *Queue) Name() string { return q.name }
+func (q *Queue[T]) Name() string { return q.name }

@@ -10,7 +10,7 @@ type Resource struct {
 	name     string
 	capacity int
 	inUse    int
-	waiters  []*Proc
+	waiters  procFIFO
 
 	// Utilization accounting.
 	busyTime   Time // integral of inUse over time, in unit-nanoseconds
@@ -35,9 +35,9 @@ func (r *Resource) account() {
 // Acquire obtains one unit of the resource, blocking in FIFO order.
 func (r *Resource) Acquire(p *Proc) {
 	for r.inUse >= r.capacity {
-		r.waiters = append(r.waiters, p)
-		if len(r.waiters) > r.peakQueue {
-			r.peakQueue = len(r.waiters)
+		r.waiters.push(p)
+		if r.waiters.len() > r.peakQueue {
+			r.peakQueue = r.waiters.len()
 		}
 		p.block()
 	}
@@ -64,9 +64,7 @@ func (r *Resource) Release() {
 	}
 	r.account()
 	r.inUse--
-	if len(r.waiters) > 0 {
-		w := r.waiters[0]
-		r.waiters = r.waiters[1:]
+	if w := r.waiters.pop(); w != nil {
 		w.wakeNow()
 	}
 }
@@ -83,7 +81,7 @@ func (r *Resource) Use(p *Proc, d Time) {
 func (r *Resource) InUse() int { return r.inUse }
 
 // QueueLen reports the number of processes waiting.
-func (r *Resource) QueueLen() int { return len(r.waiters) }
+func (r *Resource) QueueLen() int { return r.waiters.len() }
 
 // PeakQueueLen reports the maximum observed wait-queue length.
 func (r *Resource) PeakQueueLen() int { return r.peakQueue }

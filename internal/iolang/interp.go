@@ -2,6 +2,7 @@ package iolang
 
 import (
 	"fmt"
+	"sort"
 
 	"pioeval/internal/des"
 	"pioeval/internal/mpi"
@@ -38,11 +39,18 @@ func Run(e *des.Engine, fs *pfs.FS, w *Workload, col *trace.Collector) (Report, 
 		if err := ex.run(w.Body, 0); err != nil && execErr == nil {
 			execErr = err
 		}
-		// Close any leaked descriptors at workload end.
-		for path, fd := range ex.fds {
-			_ = ex.env.Close(r.Proc(), fd)
-			delete(ex.fds, path)
+		// Close any leaked descriptors at workload end, in open (fd)
+		// order: map iteration order is random and would make same-seed
+		// runs diverge.
+		fds := make([]int, 0, len(ex.fds))
+		for _, fd := range ex.fds {
+			fds = append(fds, fd)
 		}
+		sort.Ints(fds)
+		for _, fd := range fds {
+			_ = ex.env.Close(r.Proc(), fd)
+		}
+		clear(ex.fds)
 	})
 	e.Run(des.MaxTime)
 	if e.LiveProcs() != 0 {

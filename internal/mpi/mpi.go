@@ -43,7 +43,7 @@ type World struct {
 	size int
 	opts Options
 
-	queues map[chanKey]*des.Queue
+	queues map[chanKey]*des.Queue[Message]
 
 	// Barrier state.
 	barGen    int
@@ -75,7 +75,7 @@ func NewWorld(e *des.Engine, size int, opts Options) *World {
 		eng:       e,
 		size:      size,
 		opts:      opts,
-		queues:    make(map[chanKey]*des.Queue),
+		queues:    make(map[chanKey]*des.Queue[Message]),
 		barSignal: des.NewSignal(e),
 	}
 }
@@ -106,10 +106,10 @@ func (w *World) Spawn(fn func(r *Rank)) {
 	}
 }
 
-func (w *World) queue(k chanKey) *des.Queue {
+func (w *World) queue(k chanKey) *des.Queue[Message] {
 	q, ok := w.queues[k]
 	if !ok {
-		q = des.NewQueue(w.eng, fmt.Sprintf("mpi.%d.%d.%d", k.src, k.dst, k.tag))
+		q = des.NewQueue[Message](w.eng, fmt.Sprintf("mpi.%d.%d.%d", k.src, k.dst, k.tag))
 		w.queues[k] = q
 	}
 	return q
@@ -156,8 +156,7 @@ func (r *Rank) Recv(src, tag int) Message {
 	if src < 0 || src >= r.w.size {
 		panic(fmt.Sprintf("mpi: recv from invalid rank %d", src))
 	}
-	v := r.w.queue(chanKey{src, r.id, tag}).Get(r.p)
-	return v.(Message)
+	return r.w.queue(chanKey{src, r.id, tag}).Get(r.p)
 }
 
 // Sendrecv exchanges messages with a partner without deadlocking: the send
