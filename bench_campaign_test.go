@@ -58,6 +58,9 @@ func TestCampaignParallelSpeedup(t *testing.T) {
 	if runtime.NumCPU() < 8 {
 		t.Skipf("need >= 8 CPUs for an 8-worker speedup measurement, have %d", runtime.NumCPU())
 	}
+	if procs := runtime.GOMAXPROCS(0); procs < 8 {
+		t.Skipf("need GOMAXPROCS >= 8 for an 8-worker speedup measurement, have %d", procs)
+	}
 	if testing.Short() {
 		t.Skip("wall-clock measurement")
 	}

@@ -46,7 +46,17 @@ campaign "baseline-grid" {
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("campaign: ")
-	fs := flag.NewFlagSet("campaign", flag.ExitOnError)
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run is the whole command behind a testable seam: flags come from args,
+// all output goes to the supplied writers, and failures return as errors
+// instead of exiting. The golden test drives it with a bytes.Buffer.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("campaign", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	workers := fs.Int("workers", 0, "simultaneous simulations (0 = GOMAXPROCS)")
 	seed := fs.Int64("seed", -1, "override the spec's campaign seed (-1 = keep)")
 	reps := fs.Int("reps", 0, "override the spec's repetitions (0 = keep)")
@@ -56,15 +66,17 @@ func main() {
 	quiet := fs.Bool("quiet", false, "suppress progress output")
 	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile of the campaign to this file")
 	memprofile := fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
-	_ = fs.Parse(os.Args[1:])
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			log.Fatal(err)
+			return err
 		}
 		defer pprof.StopCPUProfile()
 	}
@@ -72,12 +84,13 @@ func main() {
 		defer func() {
 			f, err := os.Create(*memprofile)
 			if err != nil {
-				log.Fatal(err)
+				log.Print(err)
+				return
 			}
 			defer f.Close()
 			runtime.GC()
 			if err := pprof.WriteHeapProfile(f); err != nil {
-				log.Fatal(err)
+				log.Print(err)
 			}
 		}()
 	}
@@ -86,15 +99,15 @@ func main() {
 	if fs.NArg() == 1 {
 		b, err := os.ReadFile(fs.Arg(0))
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		src = string(b)
 	} else if fs.NArg() > 1 {
-		log.Fatal("at most one spec file argument")
+		return fmt.Errorf("at most one spec file argument")
 	}
 	spec, err := campaign.ParseSpec(src)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if *seed >= 0 {
 		spec.Seed = *seed
@@ -103,52 +116,53 @@ func main() {
 		spec.Reps = *reps
 	}
 	if err := spec.Validate(); err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	points := spec.Expand()
 	if *listOnly {
 		for _, p := range points {
-			fmt.Printf("point %3d: %s\n", p.ID, p.Label())
+			fmt.Fprintf(stdout, "point %3d: %s\n", p.ID, p.Label())
 		}
-		fmt.Printf("%d points x %d reps = %d runs\n", len(points), max(spec.Reps, 1), len(points)*max(spec.Reps, 1))
-		return
+		fmt.Fprintf(stdout, "%d points x %d reps = %d runs\n", len(points), max(spec.Reps, 1), len(points)*max(spec.Reps, 1))
+		return nil
 	}
 
 	opt := campaign.Options{Workers: *workers}
 	if !*quiet {
 		opt.OnProgress = func(p campaign.Progress) {
-			fmt.Fprintf(os.Stderr, "\rrun %d/%d (%.0f%%) elapsed %v eta %v    ",
+			fmt.Fprintf(stderr, "\rrun %d/%d (%.0f%%) elapsed %v eta %v    ",
 				p.Done, p.Total, 100*float64(p.Done)/float64(p.Total),
 				p.Elapsed.Round(10_000_000), p.ETA.Round(10_000_000))
 			if p.Done == p.Total {
-				fmt.Fprintln(os.Stderr)
+				fmt.Fprintln(stderr)
 			}
 		}
 	}
 	rep, err := campaign.Run(spec, opt)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
-	printSummary(rep)
+	printSummary(stdout, rep)
 	if *jsonOut != "" {
-		if err := writeTo(*jsonOut, rep.WriteJSON); err != nil {
-			log.Fatal(err)
+		if err := writeTo(*jsonOut, stdout, rep.WriteJSON); err != nil {
+			return err
 		}
 	}
 	if *csvOut != "" {
-		if err := writeTo(*csvOut, rep.WriteCSV); err != nil {
-			log.Fatal(err)
+		if err := writeTo(*csvOut, stdout, rep.WriteCSV); err != nil {
+			return err
 		}
 	}
+	return nil
 }
 
 // printSummary renders the per-point table: every metric's mean with its
 // 95% bootstrap CI.
-func printSummary(rep *campaign.Report) {
+func printSummary(w io.Writer, rep *campaign.Report) {
 	metrics := rep.MetricNames()
-	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(tw, "point\tconfiguration\tmetric\tmean\t95%% CI\tp95\n")
 	for _, ps := range rep.Points {
 		for _, m := range metrics {
@@ -163,9 +177,9 @@ func printSummary(rep *campaign.Report) {
 	tw.Flush()
 }
 
-func writeTo(path string, write func(w io.Writer) error) error {
+func writeTo(path string, stdout io.Writer, write func(w io.Writer) error) error {
 	if path == "-" {
-		return write(os.Stdout)
+		return write(stdout)
 	}
 	f, err := os.Create(path)
 	if err != nil {

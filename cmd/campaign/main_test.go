@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden outputs")
+
+// checkGolden compares got against the named testdata file byte for byte,
+// rewriting it under -update-golden, and reports the first diverging line
+// on mismatch.
+func checkGolden(t *testing.T, path, got string) {
+	t.Helper()
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update-golden to create): %v", err)
+	}
+	if got == string(want) {
+		return
+	}
+	gl, wl := strings.Split(got, "\n"), strings.Split(string(want), "\n")
+	for i := 0; i < len(gl) && i < len(wl); i++ {
+		if gl[i] != wl[i] {
+			t.Fatalf("output diverges at line %d:\n got: %s\nwant: %s", i+1, gl[i], wl[i])
+		}
+	}
+	t.Fatalf("output length differs: got %d lines, want %d", len(gl), len(wl))
+}
+
+// TestGoldenTinyGrid pins the full CLI output — summary table plus CSV —
+// for a 4-point, 2-rep grid, byte for byte. The campaign runner promises
+// bit-identical reports at any worker count; this is the end-to-end check
+// of that promise plus the formatting layer. Regenerate deliberately with
+//
+//	go test ./cmd/campaign -update-golden
+func TestGoldenTinyGrid(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-quiet", "-csv", "-", "testdata/tiny.campaign"}, &out, &errb); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errb.String())
+	}
+	if errb.Len() != 0 {
+		t.Errorf("-quiet run wrote to stderr: %q", errb.String())
+	}
+	checkGolden(t, "testdata/tiny_golden.txt", out.String())
+}
+
+// TestGoldenTinyGridStableAcrossRuns guards the golden file itself: two
+// in-process runs must already agree, so a future divergence against
+// testdata is a determinism break, not flakiness.
+func TestGoldenTinyGridStableAcrossRuns(t *testing.T) {
+	runOnce := func(workers string) string {
+		var out, errb bytes.Buffer
+		if err := run([]string{"-quiet", "-workers", workers, "-csv", "-", "testdata/tiny.campaign"}, &out, &errb); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return out.String()
+	}
+	if runOnce("1") != runOnce("4") {
+		t.Fatal("same-spec campaign output differs between worker counts")
+	}
+}
+
+// TestPointsListing covers the -points dry-run path: the tiny grid must
+// expand to exactly 4 points and run nothing.
+func TestPointsListing(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-points", "testdata/tiny.campaign"}, &out, &errb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "4 points x 2 reps = 8 runs") {
+		t.Fatalf("unexpected -points summary:\n%s", out.String())
+	}
+}
+
+// TestBadSpecErrors checks that an invalid spec surfaces as an error from
+// run rather than an exit.
+func TestBadSpecErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"does-not-exist.campaign"}, &out, &errb); err == nil {
+		t.Fatal("run succeeded on a missing spec file")
+	}
+}

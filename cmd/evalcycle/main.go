@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"strings"
@@ -39,7 +40,17 @@ workload "default" {
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("evalcycle: ")
-	fs := flag.NewFlagSet("evalcycle", flag.ExitOnError)
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run is the whole command behind a testable seam: flags come from args,
+// all output goes to the supplied writers, and failures return as errors
+// instead of exiting. The golden test drives it with a bytes.Buffer.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("evalcycle", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	baseDev := fs.String("baseline", "ssd", "baseline OST device: hdd, ssd, nvme")
 	targetDev := fs.String("target", "hdd", "target OST device: hdd, ssd, nvme")
 	iters := fs.Int("iterations", 4, "max feedback iterations")
@@ -48,58 +59,68 @@ func main() {
 	sweep := fs.String("sweep", "", "comma-separated device list: run every ordered (baseline, target) pair in parallel")
 	sweepReps := fs.Int("sweep-reps", 3, "repetitions per device pair in sweep mode")
 	workers := fs.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
-	_ = fs.Parse(os.Args[1:])
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	script := defaultScript
 	if fs.NArg() == 1 {
 		b, err := os.ReadFile(fs.Arg(0))
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		script = string(b)
 	}
 	wl, err := iolang.Parse(script)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	if *sweep != "" {
-		runSweep(wl, strings.Split(*sweep, ","), *sweepReps, *iters, *tol, *seed, *workers)
-		return
+		return runSweep(stdout, stderr, wl, strings.Split(*sweep, ","), *sweepReps, *iters, *tol, *seed, *workers)
 	}
 
+	base, err := mkCfg(*baseDev)
+	if err != nil {
+		return err
+	}
+	target, err := mkCfg(*targetDev)
+	if err != nil {
+		return err
+	}
 	res, err := core.RunCycle(core.CycleConfig{
 		Seed:          *seed,
-		Baseline:      mkCfg(*baseDev),
-		Target:        mkCfg(*targetDev),
+		Baseline:      base,
+		Target:        target,
 		Source:        core.SyntheticSource{Workload: wl},
 		MaxIterations: *iters,
 		Tolerance:     *tol,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
-	fmt.Printf("Phase 1 (measurement, %s baseline): %d trace records, makespan %v\n",
+	fmt.Fprintf(stdout, "Phase 1 (measurement, %s baseline): %d trace records, makespan %v\n",
 		*baseDev, res.TraceRecords, res.BaselineMakespan)
-	fmt.Printf("  characterization: rw-ratio %.2f, seq-fraction %.2f, dominant access %s\n",
+	fmt.Fprintf(stdout, "  characterization: rw-ratio %.2f, seq-fraction %.2f, dominant access %s\n",
 		res.ReadWriteRatio, res.SeqFraction, res.DominantSize)
-	fmt.Printf("Phase 2 (modeling): skeleton compression %.1fx, write fit latency(ns) = %.3g + %.3g*size\n",
+	fmt.Fprintf(stdout, "Phase 2 (modeling): skeleton compression %.1fx, write fit latency(ns) = %.3g + %.3g*size\n",
 		res.SkeletonRatio, res.WriteFit.Intercept, res.WriteFit.Slope)
-	fmt.Printf("Phase 3 (simulation of %s target, with feedback):\n", *targetDev)
+	fmt.Fprintf(stdout, "Phase 3 (simulation of %s target, with feedback):\n", *targetDev)
 	for _, it := range res.Iterations {
-		fmt.Printf("  iter %d: predicted %v, measured %v, rel.err %.3f (%d training samples)\n",
+		fmt.Fprintf(stdout, "  iter %d: predicted %v, measured %v, rel.err %.3f (%d training samples)\n",
 			it.Index, it.PredictedMakespan, it.MeasuredMakespan, it.RelError, it.TrainingSamples)
 	}
 	if res.Converged {
-		fmt.Printf("converged within tolerance %.2f\n", *tol)
+		fmt.Fprintf(stdout, "converged within tolerance %.2f\n", *tol)
 	} else {
-		fmt.Printf("did not converge within %d iterations\n", *iters)
+		fmt.Fprintf(stdout, "did not converge within %d iterations\n", *iters)
 	}
+	return nil
 }
 
 // mkCfg builds the flat-network deployment for one OST device model.
-func mkCfg(dev string) pfs.Config {
+func mkCfg(dev string) (pfs.Config, error) {
 	cfg := pfs.DefaultConfig()
 	cfg.NumIONodes = 0
 	switch dev {
@@ -110,9 +131,9 @@ func mkCfg(dev string) pfs.Config {
 	case "nvme":
 		cfg.OSTDevice = func() blockdev.Model { return blockdev.DefaultNVMe() }
 	default:
-		log.Fatalf("unknown device %q", dev)
+		return pfs.Config{}, fmt.Errorf("unknown device %q", dev)
 	}
-	return cfg
+	return cfg, nil
 }
 
 // pairOutcome is one evaluation-cycle run in sweep mode.
@@ -129,7 +150,7 @@ type pairOutcome struct {
 // per-pair convergence distributions. Per-run seeds derive from
 // (seed, run index) exactly as in a grid campaign, so the sweep is
 // reproducible at any worker count.
-func runSweep(wl *iolang.Workload, devices []string, reps, iters int, tol float64, seed int64, workers int) {
+func runSweep(stdout, stderr io.Writer, wl *iolang.Workload, devices []string, reps, iters int, tol float64, seed int64, workers int) error {
 	var pairs [][2]string
 	for _, b := range devices {
 		for _, t := range devices {
@@ -140,27 +161,41 @@ func runSweep(wl *iolang.Workload, devices []string, reps, iters int, tol float6
 		}
 	}
 	if len(pairs) == 0 {
-		log.Fatal("sweep needs at least two distinct devices")
+		return fmt.Errorf("sweep needs at least two distinct devices")
+	}
+	cfgs := make(map[string]pfs.Config, len(devices))
+	for _, pair := range pairs {
+		for _, d := range pair {
+			if _, ok := cfgs[d]; !ok {
+				cfg, err := mkCfg(d)
+				if err != nil {
+					return err
+				}
+				cfgs[d] = cfg
+			}
+		}
 	}
 	outcomes := make([]pairOutcome, len(pairs)*reps)
+	errs := make([]error, len(outcomes))
 	campaign.Pool(len(outcomes), campaign.Options{Workers: workers, OnProgress: func(p campaign.Progress) {
-		fmt.Fprintf(os.Stderr, "\rcycle %d/%d elapsed %v eta %v   ", p.Done, p.Total,
+		fmt.Fprintf(stderr, "\rcycle %d/%d elapsed %v eta %v   ", p.Done, p.Total,
 			p.Elapsed.Round(10_000_000), p.ETA.Round(10_000_000))
 		if p.Done == p.Total {
-			fmt.Fprintln(os.Stderr)
+			fmt.Fprintln(stderr)
 		}
 	}}, func(i int) {
 		pair := pairs[i/reps]
 		res, err := core.RunCycle(core.CycleConfig{
 			Seed:          campaign.RunSeed(seed, i),
-			Baseline:      mkCfg(pair[0]),
-			Target:        mkCfg(pair[1]),
+			Baseline:      cfgs[pair[0]],
+			Target:        cfgs[pair[1]],
 			Source:        core.SyntheticSource{Workload: wl},
 			MaxIterations: iters,
 			Tolerance:     tol,
 		})
 		if err != nil {
-			log.Fatal(err)
+			errs[i] = err
+			return
 		}
 		outcomes[i] = pairOutcome{
 			baseline: pair[0], target: pair[1],
@@ -170,8 +205,13 @@ func runSweep(wl *iolang.Workload, devices []string, reps, iters int, tol float6
 			converged:  res.Converged,
 		}
 	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
 
-	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	tw := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(tw, "baseline\ttarget\tfirst err (mean)\tfinal err (mean)\titerations (mean)\tconverged\n")
 	for pi, pair := range pairs {
 		var first, final, its []float64
@@ -188,5 +228,5 @@ func runSweep(wl *iolang.Workload, devices []string, reps, iters int, tol float6
 		fmt.Fprintf(tw, "%s\t%s\t%.3f\t%.3f\t%.1f\t%d/%d\n",
 			pair[0], pair[1], stats.Mean(first), stats.Mean(final), stats.Mean(its), conv, reps)
 	}
-	tw.Flush()
+	return tw.Flush()
 }

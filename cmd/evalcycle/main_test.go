@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden outputs")
+
+// checkGolden compares got against the named testdata file byte for byte,
+// rewriting it under -update-golden, and reports the first diverging line
+// on mismatch.
+func checkGolden(t *testing.T, path, got string) {
+	t.Helper()
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update-golden to create): %v", err)
+	}
+	if got == string(want) {
+		return
+	}
+	gl, wl := strings.Split(got, "\n"), strings.Split(string(want), "\n")
+	for i := 0; i < len(gl) && i < len(wl); i++ {
+		if gl[i] != wl[i] {
+			t.Fatalf("output diverges at line %d:\n got: %s\nwant: %s", i+1, gl[i], wl[i])
+		}
+	}
+	t.Fatalf("output length differs: got %d lines, want %d", len(gl), len(wl))
+}
+
+// TestGoldenCycle pins the three-phase evaluation-cycle report for the
+// built-in workload at a fixed seed, byte for byte: characterization
+// numbers, model fit coefficients, and the per-iteration prediction
+// errors. Regenerate deliberately with
+//
+//	go test ./cmd/evalcycle -update-golden
+func TestGoldenCycle(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-seed", "7", "-iterations", "3"}, &out, &errb); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errb.String())
+	}
+	checkGolden(t, "testdata/cycle_golden.txt", out.String())
+}
+
+// TestGoldenCycleStableAcrossRuns guards the golden file itself: two
+// in-process runs must already agree, so a future divergence against
+// testdata is a determinism break, not flakiness.
+func TestGoldenCycleStableAcrossRuns(t *testing.T) {
+	runOnce := func() string {
+		var out, errb bytes.Buffer
+		if err := run([]string{"-seed", "7", "-iterations", "3"}, &out, &errb); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return out.String()
+	}
+	if runOnce() != runOnce() {
+		t.Fatal("same-seed evalcycle output differs between in-process runs")
+	}
+}
+
+// TestBadDeviceErrors checks that an unknown device name surfaces as an
+// error from run rather than an exit.
+func TestBadDeviceErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-baseline", "tape"}, &out, &errb); err == nil {
+		t.Fatal("run succeeded with an unknown baseline device")
+	}
+	if err := run([]string{"-sweep", "hdd,tape"}, &out, &errb); err == nil {
+		t.Fatal("run succeeded with an unknown sweep device")
+	}
+}

@@ -2,6 +2,13 @@
 // simulated cluster and prints the server-side view: OST utilization and
 // byte counters, MDS operation mix, and optional sampled bandwidth series
 // — the storage-system-level monitoring perspective.
+//
+// With -validate the run self-checks: the full invariant suite from
+// internal/validate (time monotonicity, per-rank causality, byte
+// conservation across layer boundaries, clean shutdown balance) is armed,
+// violations are reported, and the exit status is non-zero on any
+// violation. With -oracles the analytic oracle suite runs instead of a
+// workload and the exit status reflects the verdict.
 package main
 
 import (
@@ -19,7 +26,25 @@ import (
 	"pioeval/internal/iolang"
 	"pioeval/internal/monitor"
 	"pioeval/internal/pfs"
+	"pioeval/internal/trace"
+	"pioeval/internal/validate"
 )
+
+// defaultScenario is the workload -validate runs when no script is given:
+// a mixed checkpoint/log pattern touching every layer the checkers watch.
+const defaultScenario = `workload "validate-default" {
+	ranks 4
+	stripe count=4 size=1048576
+	write "/ckpt" offset=rank*4194304 size=4194304 chunk=1048576
+	barrier
+	read "/ckpt" offset=rank*4194304 size=2097152
+	fsync "/ckpt"
+	loop 2 {
+		write "/log" offset=rank*1048576+iter*4194304 size=1048576
+	}
+	close "/ckpt"
+}
+`
 
 func main() {
 	log.SetFlags(0)
@@ -32,10 +57,26 @@ func main() {
 	resilient := fs.Bool("resilient", false, "enable the default client resilience policy (timeouts, retries, degraded reads)")
 	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile of the simulation to this file")
 	memprofile := fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
+	doValidate := fs.Bool("validate", false, "arm runtime invariant checkers and exit non-zero on any violation (runs a built-in scenario when no script is given)")
+	doOracles := fs.Bool("oracles", false, "run the analytic oracle suite instead of a workload; exit non-zero on failure")
 	_ = fs.Parse(os.Args[1:])
 
-	if fs.NArg() != 1 {
-		log.Fatal("usage: simfs [flags] <workload.iol>")
+	if *doOracles {
+		failed := false
+		for _, r := range validate.RunOracles(cluster.Seed) {
+			fmt.Println(r)
+			if !r.Pass() {
+				failed = true
+				fmt.Printf("     %s\n", r.Detail)
+			}
+		}
+		if failed {
+			os.Exit(1)
+		}
+		return
+	}
+	if fs.NArg() != 1 && !(*doValidate && fs.NArg() == 0) {
+		log.Fatal("usage: simfs [flags] <workload.iol> (the script may be omitted with -validate)")
 	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -60,9 +101,13 @@ func main() {
 			}
 		}()
 	}
-	src, err := os.ReadFile(fs.Arg(0))
-	if err != nil {
-		log.Fatal(err)
+	src := []byte(defaultScenario)
+	if fs.NArg() == 1 {
+		var err error
+		src, err = os.ReadFile(fs.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 	wl, err := iolang.Parse(string(src))
 	if err != nil {
@@ -78,6 +123,13 @@ func main() {
 
 	e := des.NewEngine(cluster.Seed)
 	sim := pfs.New(e, cfg)
+	var inv *validate.Invariants
+	var col *trace.Collector
+	if *doValidate {
+		col = trace.NewCollector()
+		col.SetLimit(1) // records flow through the invariant hook; retention is not needed
+		inv = validate.Attach(e, sim, col)
+	}
 	var sampler *monitor.Sampler
 	if *sample {
 		sampler = monitor.NewSampler(e, sim, 10*des.Millisecond, des.Hour)
@@ -92,7 +144,7 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	rep, err := iolang.Run(e, sim, wl, nil)
+	rep, err := iolang.Run(e, sim, wl, col)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -144,6 +196,21 @@ func main() {
 			}
 			fmt.Printf("  t=%-12v read %10.1f  write %10.1f  imbalance %.2f\n",
 				r.At, r.ReadBps/1e6, r.WriteBps/1e6, r.LoadImbalance)
+		}
+	}
+
+	if inv != nil {
+		vios := inv.Finish()
+		st := inv.Stats()
+		fmt.Printf("\nvalidation: %d dispatches, %d trace records, %d client ops, %d OST events checked\n",
+			st.Dispatches, st.TraceRecords, st.ClientOps, st.OSTEvents)
+		if len(vios) == 0 {
+			fmt.Println("validation: all invariants held")
+		} else {
+			for _, v := range vios {
+				fmt.Printf("validation: VIOLATION %s\n", v)
+			}
+			os.Exit(1)
 		}
 	}
 }

@@ -171,6 +171,26 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("campaign: ranks must be positive, got %d", r)
 		}
 	}
+	for _, sc := range s.StripeCounts {
+		if sc <= 0 {
+			return fmt.Errorf("campaign: stripe-count must be positive, got %d", sc)
+		}
+	}
+	for _, ss := range s.StripeSizes {
+		if ss <= 0 {
+			return fmt.Errorf("campaign: stripe-size must be positive, got %d", ss)
+		}
+	}
+	for _, bs := range s.BlockSizes {
+		if bs <= 0 {
+			return fmt.Errorf("campaign: block-size must be positive, got %d", bs)
+		}
+	}
+	for _, ts := range s.TransferSizes {
+		if ts <= 0 {
+			return fmt.Errorf("campaign: transfer-size must be positive, got %d", ts)
+		}
+	}
 	for _, d := range s.Devices {
 		switch d {
 		case "hdd", "ssd", "nvme":

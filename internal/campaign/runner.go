@@ -131,12 +131,14 @@ func Run(spec Spec, opt Options) (*Report, error) {
 	return aggregate(spec, points, runs), nil
 }
 
-// clusterConfig builds the PFS deployment for one grid point: the default
+// ClusterConfig builds the PFS deployment for one grid point: the default
 // Figure-1 cluster with a flat network, the point's device model and
 // stripe geometry, and — whenever faults are injected — the default
 // client resilience policy, so faulted runs measure degradation rather
-// than immediate failure.
-func clusterConfig(p Point) pfs.Config {
+// than immediate failure. Exported so other grid-shaped harnesses (the
+// internal/validate property generator) map Points to clusters the same
+// way campaigns do.
+func ClusterConfig(p Point) pfs.Config {
 	cfg := pfs.DefaultConfig()
 	cfg.NumIONodes = 0
 	cfg.DefaultStripeCount = p.StripeCount
@@ -160,7 +162,7 @@ func clusterConfig(p Point) pfs.Config {
 // metric map.
 func simulate(spec Spec, p Point, seed int64) map[string]float64 {
 	e := des.NewEngine(seed)
-	fs := pfs.New(e, clusterConfig(p))
+	fs := pfs.New(e, ClusterConfig(p))
 	if p.Faults != "" {
 		c, err := faults.ParseCampaign(p.Faults)
 		if err != nil {

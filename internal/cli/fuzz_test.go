@@ -1,0 +1,39 @@
+package cli
+
+import "testing"
+
+// FuzzParseSize fuzzes the size grammar: parsing must never panic, and
+// any value that parses must round-trip through FormatSize, which renders
+// exactly for suffix-divisible values.
+func FuzzParseSize(f *testing.F) {
+	for _, s := range []string{
+		"0", "1", "1024", "4KB", "1MB", "2GB", "64 MB", " 7 ", "-1", "-4KB",
+		"1B", "b", "KB", "9223372036854775807", "999999999999GB", "1.5MB", "0x10",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		v, err := ParseSize(s)
+		if err != nil {
+			return
+		}
+		back, err := ParseSize(FormatSize(v))
+		if err != nil {
+			t.Fatalf("FormatSize(%d) = %q does not re-parse: %v", v, FormatSize(v), err)
+		}
+		if back != v {
+			t.Fatalf("round trip %q -> %d -> %q -> %d", s, v, FormatSize(v), back)
+		}
+	})
+}
+
+// FuzzParseDuration fuzzes the duration grammar for panics only; the
+// accepted language is checked by the table tests.
+func FuzzParseDuration(f *testing.F) {
+	for _, s := range []string{"0", "5ms", "1.5s", "100us", "7ns", "-3ms", "1h", ""} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		_, _ = ParseDuration(s)
+	})
+}

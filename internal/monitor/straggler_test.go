@@ -1,0 +1,39 @@
+package monitor
+
+import (
+	"testing"
+
+	"pioeval/internal/pfs"
+)
+
+// TestIdentifyStragglerEdges pins the identification rule on constructed
+// sample series: only the final sample matters, strict comparison means a
+// tie keeps the lowest OST ID, and "nothing busy" is distinct from
+// "nothing sampled" only in how it is reached — both report -1.
+func TestIdentifyStragglerEdges(t *testing.T) {
+	mk := func(utils ...float64) Sample {
+		s := Sample{}
+		for i, u := range utils {
+			s.OSTs = append(s.OSTs, pfs.OSTStats{ID: i, Utilization: u})
+		}
+		return s
+	}
+	cases := []struct {
+		name    string
+		samples []Sample
+		want    int
+	}{
+		{"no samples", nil, -1},
+		{"empty sample", []Sample{{}}, -1},
+		{"all idle", []Sample{mk(0, 0, 0)}, -1},
+		{"clear straggler", []Sample{mk(0.2, 0.9, 0.3)}, 1},
+		{"exact tie keeps lowest ID", []Sample{mk(0.5, 0.9, 0.9, 0.1)}, 1},
+		{"all tied keeps lowest ID", []Sample{mk(0.7, 0.7, 0.7)}, 0},
+		{"only last sample counts", []Sample{mk(0.1, 0.9), mk(0.9, 0.1)}, 0},
+	}
+	for _, c := range cases {
+		if got := IdentifyStraggler(c.samples); got != c.want {
+			t.Errorf("%s: IdentifyStraggler = %d, want %d", c.name, got, c.want)
+		}
+	}
+}

@@ -35,6 +35,23 @@ func (fs *FS) observe(ev OpEvent) {
 	}
 }
 
+// OSTEvent describes one payload arrival at (write) or departure from
+// (read) an object storage target: the bytes that actually reached the
+// backing device, after any client-side buffering, striping, RPC
+// splitting, and fault handling. Failed or timed-out RPCs emit no event.
+// The byte-conservation invariant checkers (internal/validate) compare
+// these against the client-side OpEvent view.
+type OSTEvent struct {
+	OST   int
+	Size  int64
+	Write bool
+	At    des.Time
+}
+
+// SetOSTObserver installs fn to receive every successful OST data access.
+// Pass nil to disable. Only one observer is supported; compose externally.
+func (fs *FS) SetOSTObserver(fn func(OSTEvent)) { fs.ostObserver = fn }
+
 // Client is a compute-node-resident file-system client. Each client is
 // bound to a compute-fabric node and routed through one I/O node.
 type Client struct {
@@ -434,6 +451,9 @@ func (c *Client) tryDataRPC(q *des.Proc, o *ost, obj string, objOff, size int64,
 		return fmt.Errorf("%w: ost%d %s@%d+%d", ErrIO, o.id, obj, objOff, size)
 	}
 	o.access(q, obj, objOff, size, write)
+	if fs.ostObserver != nil {
+		fs.ostObserver(OSTEvent{OST: o.id, Size: size, Write: write, At: q.Now()})
+	}
 	if write {
 		c.stats.BytesRecv += dataReqSize
 		c.fromServer(q, o.ossNode, dataReqSize) // ack

@@ -104,7 +104,8 @@ type FS struct {
 	transientRate float64
 	faultLog      []FaultRecord
 
-	observer func(OpEvent)
+	observer    func(OpEvent)
+	ostObserver func(OSTEvent)
 }
 
 // New builds a file system on engine e from cfg. The root directory "/"

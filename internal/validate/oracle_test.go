@@ -1,0 +1,75 @@
+package validate
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestOracleSuite runs every analytic oracle and requires the simulator to
+// land inside each declared tolerance band. A failure here means the DES
+// has drifted from its own model parameters.
+func TestOracleSuite(t *testing.T) {
+	for _, r := range RunOracles(42) {
+		if !r.Pass() {
+			t.Errorf("%s\n  detail: %s", r, r.Detail)
+			continue
+		}
+		t.Logf("%s", r)
+	}
+}
+
+// TestOracleDeterministic pins that the oracle suite is seed-deterministic
+// (the fault-free scenarios use no randomness, so any seed gives identical
+// numbers).
+func TestOracleDeterministic(t *testing.T) {
+	a, b := RunOracles(1), RunOracles(99)
+	if len(a) != len(b) {
+		t.Fatalf("suite sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Simulated != b[i].Simulated || a[i].Expected != b[i].Expected {
+			t.Errorf("%s: seed-dependent result: %.6g/%.6g vs %.6g/%.6g",
+				a[i].Name, a[i].Simulated, a[i].Expected, b[i].Simulated, b[i].Expected)
+		}
+	}
+}
+
+// TestOracleCollectiveExact pins the zero-tolerance oracle: collective
+// aggregation must conserve volume to the byte.
+func TestOracleCollectiveExact(t *testing.T) {
+	r := OracleCollectiveVolume(7)
+	if r.Tol != 0 {
+		t.Fatalf("collective oracle tolerance = %v, want exact", r.Tol)
+	}
+	if r.Simulated != r.Expected {
+		t.Fatalf("collective volume %g != requested %g", r.Simulated, r.Expected)
+	}
+}
+
+// TestOracleResultVerdicts covers the result arithmetic edge cases.
+func TestOracleResultVerdicts(t *testing.T) {
+	cases := []struct {
+		name string
+		r    OracleResult
+		pass bool
+		err  float64
+	}{
+		{"within", OracleResult{Expected: 100, Simulated: 104, Tol: 0.05}, true, 0.04},
+		{"outside", OracleResult{Expected: 100, Simulated: 110, Tol: 0.05}, false, 0.10},
+		{"exact-zero-tol", OracleResult{Expected: 50, Simulated: 50, Tol: 0}, true, 0},
+		{"both-zero", OracleResult{Expected: 0, Simulated: 0, Tol: 0}, true, 0},
+		{"zero-expected", OracleResult{Expected: 0, Simulated: 1, Tol: 0.5}, false, math.Inf(1)},
+	}
+	for _, c := range cases {
+		if got := c.r.Pass(); got != c.pass {
+			t.Errorf("%s: Pass() = %v, want %v", c.name, got, c.pass)
+		}
+		if got := c.r.RelError(); math.Abs(got-c.err) > 1e-12 && !(math.IsInf(got, 1) && math.IsInf(c.err, 1)) {
+			t.Errorf("%s: RelError() = %v, want %v", c.name, got, c.err)
+		}
+	}
+	if s := (OracleResult{Name: "x", Expected: 1, Simulated: 2, Tol: 0.1}).String(); !strings.HasPrefix(s, "FAIL") {
+		t.Errorf("failing result renders %q, want FAIL prefix", s)
+	}
+}

@@ -1,0 +1,40 @@
+// Package validate is the simulator's validation subsystem — the checks
+// that tie DES results back to known-correct behaviour, in the spirit of
+// the paper's Figure-4 evaluation cycle. It has three layers:
+//
+//   - Analytic oracles (oracle.go): configurations simple enough that the
+//     expected result has a closed form — a single sequential stream
+//     bottlenecked by the slowest pipeline stage, independent ranks on
+//     disjoint OSTs scaling linearly, two-phase collective aggregation
+//     conserving volume exactly, burst-buffer drain time — compared
+//     against simulated results within declared tolerance bands.
+//
+//   - Runtime invariant checkers (invariants.go): hooks on the engine
+//     dispatch path, the trace collector, and the PFS client/OST
+//     observers that assert simulated-time monotonicity, per-rank record
+//     causality, byte conservation across layer boundaries, and clean
+//     resource balance at shutdown. Attach them to any scenario; tests
+//     and `simfs -validate` run every workload self-checking.
+//
+//   - A property-based harness (property.go): deterministically generates
+//     random cluster shapes (reusing internal/campaign grid machinery)
+//     and iolang programs from a seed, runs them with invariants on, and
+//     shrinks any failure to a minimal reproducing case rendered as a
+//     ready-to-commit regression test.
+package validate
+
+import "fmt"
+
+// Violation is one failed invariant or check.
+type Violation struct {
+	// Invariant names the violated rule (e.g. "write-conservation",
+	// "time-monotonic", "shutdown-balance").
+	Invariant string
+	// Detail describes the observed inconsistency.
+	Detail string
+}
+
+// String renders the violation for reports and test logs.
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: %s", v.Invariant, v.Detail)
+}
