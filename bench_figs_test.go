@@ -15,6 +15,7 @@ import (
 	"pioeval/internal/mpiio"
 	"pioeval/internal/pfs"
 	"pioeval/internal/posixio"
+	"pioeval/internal/storage"
 	"pioeval/internal/trace"
 	"pioeval/internal/workload"
 )
@@ -90,7 +91,7 @@ func BenchmarkFig2LayeredPath(b *testing.B) {
 		w := mpi.NewWorld(e, ranks, mpi.DefaultOptions())
 		envs := make([]*posixio.Env, ranks)
 		for r := range envs {
-			envs[r] = posixio.NewEnv(fs.NewClient(nodeName("fig2", r)), r, col)
+			envs[r] = posixio.NewEnv(storage.Direct(fs.NewClient(nodeName("fig2", r))), r, col)
 		}
 		mf := mpiio.NewFile(w, envs, "/exp.h5", mpiio.Hints{CollNodes: 2}, col)
 		hf := hdf.NewFile(mf, col)

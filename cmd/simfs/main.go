@@ -26,6 +26,7 @@ import (
 	"pioeval/internal/iolang"
 	"pioeval/internal/monitor"
 	"pioeval/internal/pfs"
+	"pioeval/internal/storage"
 	"pioeval/internal/trace"
 	"pioeval/internal/validate"
 )
@@ -59,6 +60,7 @@ func main() {
 	memprofile := fs.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	doValidate := fs.Bool("validate", false, "arm runtime invariant checkers and exit non-zero on any violation (runs a built-in scenario when no script is given)")
 	doOracles := fs.Bool("oracles", false, "run the analytic oracle suite instead of a workload; exit non-zero on failure")
+	tier := fs.String("tier", "direct", "storage tier for workload ranks: direct, bb (burst-buffer write-back), or nodelocal (per-node scratch)")
 	_ = fs.Parse(os.Args[1:])
 
 	if *doOracles {
@@ -144,7 +146,17 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	rep, err := iolang.Run(e, sim, wl, col)
+	var prov *storage.Provider
+	if *tier != "direct" && *tier != "" {
+		prov, err = storage.NewProvider(e, sim, *tier, storage.ProviderConfig{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if inv != nil {
+			inv.ObserveTier(prov)
+		}
+	}
+	rep, err := iolang.RunOn(e, sim, wl, col, prov)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -172,6 +184,35 @@ func main() {
 	sort.Strings(ops)
 	for _, op := range ops {
 		fmt.Printf("  %-10s %8d\n", op, md.Ops[op])
+	}
+
+	if prov != nil {
+		switch prov.Tier() {
+		case storage.TierBB:
+			fmt.Println("\nburst buffers:")
+			for _, bb := range prov.Buffers() {
+				st := bb.Stats()
+				fmt.Printf("  %-8s absorbed %s, drained %s, peak %s, %d stalls, reads %s staged / %s through\n",
+					bb.Node(), cli.FormatSize(st.Absorbed), cli.FormatSize(st.Drained),
+					cli.FormatSize(st.PeakUsed), st.Stalls,
+					cli.FormatSize(st.BufReads), cli.FormatSize(st.MissReads))
+				if st.DrainErrors > 0 {
+					fmt.Printf("  %-8s DRAIN ERRORS: %d segments (%s) lost; last: %v\n",
+						bb.Node(), st.DrainErrors, cli.FormatSize(st.LostBytes), st.LastDrainError)
+				}
+				if st.ReadErrors > 0 {
+					fmt.Printf("  %-8s READ ERRORS: %d read-through failures; last: %v\n",
+						bb.Node(), st.ReadErrors, st.LastReadError)
+				}
+			}
+		case storage.TierNodeLocal:
+			fmt.Println("\nnode-local scratch:")
+			for _, nl := range prov.Locals() {
+				st := nl.Stats()
+				fmt.Printf("  %-10s read %s, wrote %s, %d files\n",
+					st.Name, cli.FormatSize(st.BytesRead), cli.FormatSize(st.BytesWritten), st.Files)
+			}
+		}
 	}
 
 	if campaign != nil {

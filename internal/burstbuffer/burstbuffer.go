@@ -7,11 +7,36 @@ package burstbuffer
 
 import (
 	"fmt"
+	"sort"
 
 	"pioeval/internal/blockdev"
 	"pioeval/internal/des"
 	"pioeval/internal/pfs"
 )
+
+// DrainError reports staged segments whose PFS writeback failed for good
+// (after the drain client's retry budget): the staged bytes are lost. It
+// unwraps to the last underlying fault (usually a typed PFS error such as
+// ErrOSTDown), so errors.Is classification works through it.
+type DrainError struct {
+	// Node is the buffer's network node name.
+	Node string
+	// Segments counts failed drain operations.
+	Segments uint64
+	// Bytes is the total staged payload those segments carried.
+	Bytes int64
+	// Last is the most recent underlying failure.
+	Last error
+}
+
+// Error implements error.
+func (e *DrainError) Error() string {
+	return fmt.Sprintf("burstbuffer %s: %d drain segments (%d bytes) lost: %v",
+		e.Node, e.Segments, e.Bytes, e.Last)
+}
+
+// Unwrap exposes the underlying fault.
+func (e *DrainError) Unwrap() error { return e.Last }
 
 // Config describes one burst-buffer node.
 type Config struct {
@@ -89,7 +114,12 @@ type Buffer struct {
 	missReads int64
 	// drainErrors counts drain-side PFS writes that failed after the
 	// client's retry budget; the staged data is dropped (lost burst).
-	drainErrors uint64
+	drainErrors  uint64
+	lostBytes    int64
+	lastDrainErr error
+	// readErrors counts read-through misses that failed on the PFS side.
+	readErrors  uint64
+	lastReadErr error
 }
 
 // New creates a burst buffer named node (registered as a PFS compute-fabric
@@ -122,9 +152,9 @@ func (b *Buffer) drainLoop(p *des.Proc) {
 			return // shutdown sentinel
 		}
 		b.inFlight++
+		var err error
 		h := b.handles[seg.path]
 		if h == nil {
-			var err error
 			h, err = b.drainClient.Open(p, seg.path)
 			if err != nil {
 				h, err = b.drainClient.Create(p, seg.path, 0, 0)
@@ -135,13 +165,19 @@ func (b *Buffer) drainLoop(p *des.Proc) {
 		}
 		// Read the staged data off the SSD, then push it to the PFS.
 		b.dev.Access(p, blockdev.Request{Offset: seg.off, Size: seg.size})
-		if h == nil {
+		if err == nil {
+			err = h.Write(p, seg.off, seg.size)
+		}
+		if err != nil {
+			// The segment is gone from staging but never reached the PFS:
+			// account it as lost, never as drained.
 			b.drainErrors++
-		} else if werr := h.Write(p, seg.off, seg.size); werr != nil {
-			b.drainErrors++
+			b.lostBytes += seg.size
+			b.lastDrainErr = err
+		} else {
+			b.drained += seg.size
 		}
 		b.used -= seg.size
-		b.drained += seg.size
 		b.inFlight--
 		b.notFull.Fire()
 		if b.used == 0 && b.pending.Len() == 0 && b.inFlight == 0 {
@@ -180,15 +216,16 @@ func (b *Buffer) Write(p *des.Proc, path string, off, size int64) {
 }
 
 // Read serves size bytes for path: from the staging SSD when the data has
-// not fully drained yet (fast path), otherwise from the PFS.
-func (b *Buffer) Read(p *des.Proc, path string, off, size int64) {
+// not fully drained yet (fast path), otherwise reads through to the PFS,
+// returning any PFS-side failure (typed, so errors.Is classification works).
+func (b *Buffer) Read(p *des.Proc, path string, off, size int64) error {
 	if size <= 0 {
-		return
+		return nil
 	}
 	if b.used > 0 {
 		b.bufReads += size
 		b.dev.Access(p, blockdev.Request{Offset: off, Size: size})
-		return
+		return nil
 	}
 	b.missReads += size
 	h := b.handles[path]
@@ -196,19 +233,48 @@ func (b *Buffer) Read(p *des.Proc, path string, off, size int64) {
 		var err error
 		h, err = b.drainClient.Open(p, path)
 		if err != nil {
-			return
+			b.readErrors++
+			b.lastReadErr = err
+			return err
 		}
 		b.handles[path] = h
 	}
-	_ = h.Read(p, off, size)
+	if err := h.Read(p, off, size); err != nil {
+		b.readErrors++
+		b.lastReadErr = err
+		return err
+	}
+	return nil
 }
 
-// WaitDrained blocks the calling process until all staged data has reached
-// the PFS.
-func (b *Buffer) WaitDrained(p *des.Proc) {
+// WaitDrained blocks the calling process until all staged data has either
+// reached the PFS or been declared lost, then fsyncs the drain handles so
+// the bytes are durable on the OSTs. It returns a *DrainError summarizing
+// any writebacks that failed for good — the error is sticky: once a
+// segment is lost, every later WaitDrained reports it.
+func (b *Buffer) WaitDrained(p *des.Proc) error {
 	for b.used > 0 || b.pending.Len() > 0 || b.inFlight > 0 {
 		b.idle.Wait(p)
 	}
+	// Deterministic order: sort the handle paths.
+	paths := make([]string, 0, len(b.handles))
+	for path := range b.handles {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		if err := b.handles[path].Fsync(p); err != nil {
+			b.drainErrors++
+			b.lastDrainErr = err
+		}
+	}
+	if b.drainErrors > 0 {
+		return &DrainError{
+			Node: b.node, Segments: b.drainErrors, Bytes: b.lostBytes,
+			Last: b.lastDrainErr,
+		}
+	}
+	return nil
 }
 
 // Stats is a snapshot of buffer counters.
@@ -222,6 +288,14 @@ type Stats struct {
 	MissReads int64
 	// DrainErrors counts staged segments lost to failed PFS writebacks.
 	DrainErrors uint64
+	// LostBytes is the staged payload those failed segments carried.
+	LostBytes int64
+	// LastDrainError is the most recent drain failure (nil when clean).
+	LastDrainError error
+	// ReadErrors counts read-through misses that failed on the PFS side.
+	ReadErrors uint64
+	// LastReadError is the most recent read-through failure (nil when clean).
+	LastReadError error
 }
 
 // Stats returns a snapshot of the buffer counters.
@@ -230,6 +304,7 @@ func (b *Buffer) Stats() Stats {
 		Absorbed: b.absorbed, Drained: b.drained, Used: b.used,
 		PeakUsed: b.peakUsed, Stalls: b.stalls,
 		BufReads: b.bufReads, MissReads: b.missReads,
-		DrainErrors: b.drainErrors,
+		DrainErrors: b.drainErrors, LostBytes: b.lostBytes, LastDrainError: b.lastDrainErr,
+		ReadErrors: b.readErrors, LastReadError: b.lastReadErr,
 	}
 }

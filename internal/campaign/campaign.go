@@ -56,6 +56,7 @@ type Spec struct {
 	Patterns      []string // sequential, strided, random (IOR only)
 	Collective    []bool   // two-phase collective MPI-IO (IOR only)
 	BurstBuffer   []bool   // stage writes through a burst buffer (checkpoint only)
+	Tiers         []string // storage tiers: direct (default), bb, nodelocal
 	Faults        []string // fault-campaign specs (faults.ParseCampaign syntax); "" = none
 }
 
@@ -71,6 +72,7 @@ type Point struct {
 	Pattern      string `json:"pattern,omitempty"`
 	Collective   bool   `json:"collective,omitempty"`
 	BurstBuffer  bool   `json:"burst_buffer,omitempty"`
+	Tier         string `json:"tier,omitempty"` // "" = direct
 	Faults       string `json:"faults,omitempty"`
 }
 
@@ -86,6 +88,9 @@ func (p Point) Label() string {
 	}
 	if p.BurstBuffer {
 		b.WriteString(" bb")
+	}
+	if p.Tier != "" {
+		fmt.Fprintf(&b, " tier=%s", p.Tier)
 	}
 	if p.Faults != "" {
 		b.WriteString(" faults")
@@ -133,6 +138,9 @@ func (s Spec) withDefaults() Spec {
 	}
 	if len(s.BurstBuffer) == 0 {
 		s.BurstBuffer = []bool{false}
+	}
+	if len(s.Tiers) == 0 {
+		s.Tiers = []string{""}
 	}
 	if len(s.Faults) == 0 {
 		s.Faults = []string{""}
@@ -205,6 +213,20 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("campaign: unknown pattern %q (want sequential, strided, or random)", p)
 		}
 	}
+	for _, tier := range s.Tiers {
+		switch tier {
+		case "", "direct", "bb", "nodelocal":
+		default:
+			return fmt.Errorf("campaign: unknown tier %q (want direct, bb, or nodelocal)", tier)
+		}
+		if tier == "bb" {
+			for _, bb := range s.BurstBuffer {
+				if bb {
+					return fmt.Errorf("campaign: the bb tier and the legacy burstbuffer axis cannot combine (pick one)")
+				}
+			}
+		}
+	}
 	for _, f := range s.Faults {
 		if f == "" {
 			continue
@@ -230,20 +252,26 @@ func (s Spec) Expand() []Point {
 							for _, pat := range s.Patterns {
 								for _, coll := range s.Collective {
 									for _, bb := range s.BurstBuffer {
-										for _, f := range s.Faults {
-											out = append(out, Point{
-												ID:           len(out),
-												Ranks:        ranks,
-												Device:       dev,
-												StripeCount:  sc,
-												StripeSize:   ss,
-												BlockSize:    bs,
-												TransferSize: ts,
-												Pattern:      pat,
-												Collective:   coll,
-												BurstBuffer:  bb,
-												Faults:       f,
-											})
+										for _, tier := range s.Tiers {
+											if tier == "direct" {
+												tier = "" // canonical spelling of the default tier
+											}
+											for _, f := range s.Faults {
+												out = append(out, Point{
+													ID:           len(out),
+													Ranks:        ranks,
+													Device:       dev,
+													StripeCount:  sc,
+													StripeSize:   ss,
+													BlockSize:    bs,
+													TransferSize: ts,
+													Pattern:      pat,
+													Collective:   coll,
+													BurstBuffer:  bb,
+													Tier:         tier,
+													Faults:       f,
+												})
+											}
 										}
 									}
 								}

@@ -11,6 +11,7 @@ import (
 	"pioeval/internal/des"
 	"pioeval/internal/faults"
 	"pioeval/internal/pfs"
+	"pioeval/internal/storage"
 	"pioeval/internal/workload"
 )
 
@@ -172,7 +173,11 @@ func simulate(spec Spec, p Point, seed int64) map[string]float64 {
 			panic(fmt.Sprintf("campaign: fault campaign %q: %v", p.Faults, err))
 		}
 	}
-	h := workload.NewHarness(e, fs, p.Ranks, "camp", nil)
+	pr, err := storage.NewProvider(e, fs, p.Tier, storage.ProviderConfig{})
+	if err != nil {
+		panic(fmt.Sprintf("campaign: unvalidated tier %q: %v", p.Tier, err))
+	}
+	h := workload.NewHarnessOn(e, fs, p.Ranks, "camp", nil, pr)
 	var m map[string]float64
 	switch spec.Workload {
 	case WorkloadCheckpoint:
@@ -184,6 +189,14 @@ func simulate(spec Spec, p Point, seed int64) map[string]float64 {
 	m["retries"] = float64(st.Retries)
 	m["timed_out_rpcs"] = float64(st.TimedOutRPCs)
 	m["failed_rpcs"] = float64(st.FailedRPCs)
+	for _, bb := range pr.Buffers() {
+		bst := bb.Stats()
+		m["bb_stalls"] += float64(bst.Stalls)
+		m["bb_drain_errors"] += float64(bst.DrainErrors)
+		if mb := float64(bst.PeakUsed) / 1e6; mb > m["bb_peak_used_MB"] {
+			m["bb_peak_used_MB"] = mb
+		}
+	}
 	return m
 }
 

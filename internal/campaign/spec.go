@@ -133,6 +133,8 @@ func (s *Spec) set(key string, vals []string) error {
 		s.Collective, err = parseBools(vals)
 	case "burstbuffer":
 		s.BurstBuffer, err = parseBools(vals)
+	case "tier":
+		s.Tiers = vals
 	case "faults":
 		for _, v := range vals {
 			f, qerr := unquote(v)

@@ -17,6 +17,7 @@ import (
 	"pioeval/internal/pfs"
 	"pioeval/internal/posixio"
 	"pioeval/internal/sched"
+	"pioeval/internal/storage"
 )
 
 // JobKind classifies facility jobs.
@@ -182,7 +183,7 @@ func Run(cfg Config) (*Result, error) {
 	for i, p := range plans {
 		i, p := i, p
 		start := startOf[p.job.ID]
-		env := posixio.NewEnv(fs.NewClient("fac-"+p.job.ID), i, nil)
+		env := posixio.NewEnv(storage.Direct(fs.NewClient("fac-"+p.job.ID)), i, nil)
 		e.SpawnAt(start, p.job.ID, func(proc *des.Proc) {
 			jr := JobResult{
 				ID: p.job.ID, Kind: p.kind, Nodes: p.job.Nodes,

@@ -12,6 +12,7 @@ import (
 	"pioeval/internal/mpiio"
 	"pioeval/internal/pfs"
 	"pioeval/internal/posixio"
+	"pioeval/internal/storage"
 	"pioeval/internal/trace"
 )
 
@@ -34,7 +35,7 @@ func newHarness(ranks int) *harness {
 	col := trace.NewCollector()
 	envs := make([]*posixio.Env, ranks)
 	for i := range envs {
-		envs[i] = posixio.NewEnv(fs.NewClient(node(i)), i, col)
+		envs[i] = posixio.NewEnv(storage.Direct(fs.NewClient(node(i))), i, col)
 	}
 	mf := mpiio.NewFile(w, envs, "/exp.h5", mpiio.Hints{CollNodes: 2}, col)
 	return &harness{eng: e, fs: fs, w: w, col: col, mf: mf, hf: NewFile(mf, col)}

@@ -9,6 +9,7 @@ import (
 	"pioeval/internal/pfs"
 	"pioeval/internal/posixio"
 	"pioeval/internal/skeleton"
+	"pioeval/internal/storage"
 	"pioeval/internal/trace"
 )
 
@@ -23,17 +24,42 @@ type Report struct {
 }
 
 // Run interprets the workload against fs, spawning one MPI rank per
-// configured rank, and drives the engine to completion.
+// configured rank, and drives the engine to completion. Every rank talks
+// straight to the PFS (the direct tier); use RunOn to route the ranks
+// through a storage provider instead.
 func Run(e *des.Engine, fs *pfs.FS, w *Workload, col *trace.Collector) (Report, error) {
+	return RunOn(e, fs, w, col, nil)
+}
+
+// RunOn is Run with an explicit storage provider: each rank's POSIX
+// environment is bound to pr.Target (burst-buffer tier, node-local
+// scratch, ...). A nil provider means direct PFS access. When the
+// provider owns background drain workers, RunOn finalizes them (waits
+// for the drain, then stops them) after the ranks finish, so the
+// reported makespan includes the tail drain — the honest cost of
+// write-back tiering.
+func RunOn(e *des.Engine, fs *pfs.FS, w *Workload, col *trace.Collector, pr *storage.Provider) (Report, error) {
 	rep := Report{Name: w.Name, Ranks: w.Ranks}
 	world := mpi.NewWorld(e, w.Ranks, mpi.DefaultOptions())
 	envs := make([]*posixio.Env, w.Ranks)
 	for i := range envs {
-		envs[i] = posixio.NewEnv(fs.NewClient(fmt.Sprintf("iolang%d", i)), i, col)
+		node := fmt.Sprintf("iolang%d", i)
+		var t storage.Target
+		if pr != nil {
+			t = pr.Target(node)
+		} else {
+			t = storage.Direct(fs.NewClient(node))
+		}
+		envs[i] = posixio.NewEnv(t, i, col)
 		envs[i].StripeCount = w.StripeCount
 		envs[i].StripeSize = w.StripeSize
 	}
 	var execErr error
+	var wg *des.WaitGroup
+	if pr != nil && pr.NeedsFinalize() {
+		wg = des.NewWaitGroup(e)
+		wg.Add(w.Ranks)
+	}
 	world.Spawn(func(r *mpi.Rank) {
 		ex := &executor{w: w, r: r, env: envs[r.ID()], rep: &rep, fds: map[string]int{}}
 		if err := ex.run(w.Body, 0); err != nil && execErr == nil {
@@ -51,12 +77,25 @@ func Run(e *des.Engine, fs *pfs.FS, w *Workload, col *trace.Collector) (Report, 
 			_ = ex.env.Close(r.Proc(), fd)
 		}
 		clear(ex.fds)
+		if wg != nil {
+			wg.Done()
+		}
 	})
+	var drainErr error
+	if wg != nil {
+		e.Spawn("iolang.drain", func(p *des.Proc) {
+			wg.Wait(p)
+			drainErr = pr.Finalize(p)
+		})
+	}
 	e.Run(des.MaxTime)
 	if e.LiveProcs() != 0 {
 		return rep, fmt.Errorf("iolang: deadlock with %d live procs", e.LiveProcs())
 	}
 	rep.Makespan = e.Now()
+	if execErr == nil && drainErr != nil {
+		execErr = drainErr
+	}
 	return rep, execErr
 }
 

@@ -10,6 +10,7 @@ import (
 	"pioeval/internal/mpi"
 	"pioeval/internal/pfs"
 	"pioeval/internal/posixio"
+	"pioeval/internal/storage"
 	"pioeval/internal/trace"
 )
 
@@ -36,7 +37,7 @@ func newHarness(ranks int, dev func() blockdev.Model) *harness {
 	col := trace.NewCollector()
 	envs := make([]*posixio.Env, ranks)
 	for i := range envs {
-		envs[i] = posixio.NewEnv(fs.NewClient(nodeName(i)), i, col)
+		envs[i] = posixio.NewEnv(storage.Direct(fs.NewClient(nodeName(i))), i, col)
 	}
 	return &harness{eng: e, fs: fs, w: w, envs: envs, col: col}
 }

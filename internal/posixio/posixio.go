@@ -1,8 +1,9 @@
 // Package posixio exposes a POSIX-like file API (descriptors, open flags,
-// positional and streaming reads/writes) on top of the simulated parallel
-// file system. It is the "POSIX I/O" layer of the paper's Figure 2: MPI-IO
-// sits above it, the PFS client below it, and tracers interpose here to
-// capture POSIX-level records.
+// positional and streaming reads/writes) on top of a pluggable storage
+// target. It is the "POSIX I/O" layer of the paper's Figure 2: MPI-IO
+// sits above it, a storage.Target (direct PFS, burst-buffer tier, or
+// node-local scratch) below it, and tracers interpose here to capture
+// POSIX-level records.
 package posixio
 
 import (
@@ -10,7 +11,7 @@ import (
 	"fmt"
 
 	"pioeval/internal/des"
-	"pioeval/internal/pfs"
+	"pioeval/internal/storage"
 	"pioeval/internal/trace"
 )
 
@@ -28,9 +29,9 @@ const (
 var ErrBadFD = errors.New("posixio: bad file descriptor")
 
 // Env is one simulated process's POSIX environment: a descriptor table
-// bound to a PFS client. Create one Env per rank.
+// bound to a storage target. Create one Env per rank.
 type Env struct {
-	client *pfs.Client
+	target storage.Target
 	rank   int
 	col    *trace.Collector
 
@@ -44,20 +45,20 @@ type Env struct {
 }
 
 type fdState struct {
-	h      *pfs.Handle
+	h      storage.Handle
 	pos    int64
 	append bool
 	size   int64 // local size mirror for append/seek-end
 }
 
-// NewEnv creates a POSIX environment for rank on client c, tracing into col
+// NewEnv creates a POSIX environment for rank on target t, tracing into col
 // (nil disables tracing).
-func NewEnv(c *pfs.Client, rank int, col *trace.Collector) *Env {
-	return &Env{client: c, rank: rank, col: col, fds: make(map[int]*fdState), nextFD: 3}
+func NewEnv(t storage.Target, rank int, col *trace.Collector) *Env {
+	return &Env{target: t, rank: rank, col: col, fds: make(map[int]*fdState), nextFD: 3}
 }
 
-// Client returns the underlying PFS client.
-func (e *Env) Client() *pfs.Client { return e.client }
+// Target returns the underlying storage target.
+func (e *Env) Target() storage.Target { return e.target }
 
 func (e *Env) emit(p *des.Proc, op, path string, off, size int64, start des.Time) {
 	e.col.Emit(trace.Record{
@@ -69,23 +70,23 @@ func (e *Env) emit(p *des.Proc, op, path string, off, size int64, start des.Time
 // Open opens path with flags and returns a descriptor.
 func (e *Env) Open(p *des.Proc, path string, flags int) (int, error) {
 	start := p.Now()
-	var h *pfs.Handle
+	var h storage.Handle
 	var err error
 	var size int64
 	if flags&OCreate != 0 {
-		h, err = e.client.Create(p, path, e.StripeCount, e.StripeSize)
-		if errors.Is(err, pfs.ErrExist) && flags&OExcl == 0 {
-			h, err = e.client.Open(p, path)
+		h, err = e.target.Create(p, path, e.StripeCount, e.StripeSize)
+		if errors.Is(err, storage.ErrExist) && flags&OExcl == 0 {
+			h, err = e.target.Open(p, path)
 			if err == nil {
-				if fi, serr := e.client.Stat(p, path); serr == nil {
+				if fi, serr := e.target.Stat(p, path); serr == nil {
 					size = fi.Size
 				}
 			}
 		}
 	} else {
-		h, err = e.client.Open(p, path)
+		h, err = e.target.Open(p, path)
 		if err == nil {
-			if fi, serr := e.client.Stat(p, path); serr == nil {
+			if fi, serr := e.target.Stat(p, path); serr == nil {
 				size = fi.Size
 			}
 		}
@@ -163,7 +164,7 @@ func (e *Env) Pread(p *des.Proc, fd int, off, size int64) (int64, error) {
 	if rerr != nil {
 		// Degraded-mode reads deliver the reachable bytes; report the
 		// short count alongside the error, like a POSIX partial read.
-		var deg *pfs.DegradedReadError
+		var deg *storage.DegradedReadError
 		if errors.As(rerr, &deg) {
 			n := size - deg.Missing
 			if n < 0 {
@@ -183,26 +184,33 @@ const (
 	SeekEnd = 2
 )
 
-// Lseek repositions the descriptor and returns the new position.
-func (e *Env) Lseek(fd int, off int64, whence int) (int64, error) {
+// Lseek repositions the descriptor and returns the new position. Like
+// every other Env operation it is traced (a zero-size record at the new
+// offset) so replay and analysis see the seek pattern, even though a seek
+// costs no simulated time.
+func (e *Env) Lseek(p *des.Proc, fd int, off int64, whence int) (int64, error) {
 	st, err := e.fd(fd)
 	if err != nil {
 		return 0, err
 	}
+	start := p.Now()
+	pos := st.pos
 	switch whence {
 	case SeekSet:
-		st.pos = off
+		pos = off
 	case SeekCur:
-		st.pos += off
+		pos += off
 	case SeekEnd:
-		st.pos = st.size + off
+		pos = st.size + off
 	default:
 		return 0, fmt.Errorf("posixio: bad whence %d", whence)
 	}
-	if st.pos < 0 {
-		st.pos = 0
+	if pos < 0 {
+		pos = 0
 	}
-	return st.pos, nil
+	st.pos = pos
+	e.emit(p, "lseek", st.h.Path(), pos, 0, start)
+	return pos, nil
 }
 
 // Fsync flushes buffered writes for fd.
@@ -231,9 +239,9 @@ func (e *Env) Close(p *des.Proc, fd int) error {
 }
 
 // Stat returns file metadata.
-func (e *Env) Stat(p *des.Proc, path string) (pfs.FileInfo, error) {
+func (e *Env) Stat(p *des.Proc, path string) (storage.FileInfo, error) {
 	start := p.Now()
-	fi, err := e.client.Stat(p, path)
+	fi, err := e.target.Stat(p, path)
 	e.emit(p, "stat", path, 0, 0, start)
 	return fi, err
 }
@@ -241,7 +249,7 @@ func (e *Env) Stat(p *des.Proc, path string) (pfs.FileInfo, error) {
 // Mkdir creates a directory.
 func (e *Env) Mkdir(p *des.Proc, path string) error {
 	start := p.Now()
-	err := e.client.Mkdir(p, path)
+	err := e.target.Mkdir(p, path)
 	e.emit(p, "mkdir", path, 0, 0, start)
 	return err
 }
@@ -249,7 +257,7 @@ func (e *Env) Mkdir(p *des.Proc, path string) error {
 // Rmdir removes an empty directory.
 func (e *Env) Rmdir(p *des.Proc, path string) error {
 	start := p.Now()
-	err := e.client.Rmdir(p, path)
+	err := e.target.Rmdir(p, path)
 	e.emit(p, "rmdir", path, 0, 0, start)
 	return err
 }
@@ -257,7 +265,7 @@ func (e *Env) Rmdir(p *des.Proc, path string) error {
 // Unlink removes a file.
 func (e *Env) Unlink(p *des.Proc, path string) error {
 	start := p.Now()
-	err := e.client.Unlink(p, path)
+	err := e.target.Unlink(p, path)
 	e.emit(p, "unlink", path, 0, 0, start)
 	return err
 }
@@ -265,7 +273,7 @@ func (e *Env) Unlink(p *des.Proc, path string) error {
 // Readdir lists directory entries.
 func (e *Env) Readdir(p *des.Proc, path string) ([]string, error) {
 	start := p.Now()
-	names, err := e.client.Readdir(p, path)
+	names, err := e.target.Readdir(p, path)
 	e.emit(p, "readdir", path, 0, int64(len(names)), start)
 	return names, err
 }

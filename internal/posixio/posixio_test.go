@@ -7,6 +7,7 @@ import (
 	"pioeval/internal/blockdev"
 	"pioeval/internal/des"
 	"pioeval/internal/pfs"
+	"pioeval/internal/storage"
 	"pioeval/internal/trace"
 )
 
@@ -18,7 +19,7 @@ func newEnv(seed int64) (*des.Engine, *Env, *trace.Collector) {
 	cfg.OSTDevice = func() blockdev.Model { return blockdev.DefaultSSD() }
 	fs := pfs.New(e, cfg)
 	col := trace.NewCollector()
-	env := NewEnv(fs.NewClient("c0"), 0, col)
+	env := NewEnv(storage.Direct(fs.NewClient("c0")), 0, col)
 	return e, env, col
 }
 
@@ -49,7 +50,7 @@ func TestOpenCreateWriteReadClose(t *testing.T) {
 		if err != nil || fi.Size != 8192 {
 			t.Fatalf("size = %d, %v", fi.Size, err)
 		}
-		if _, err := env.Lseek(fd, 0, SeekSet); err != nil {
+		if _, err := env.Lseek(p, fd, 0, SeekSet); err != nil {
 			t.Fatal(err)
 		}
 		if n, err := env.Read(p, fd, 8192); n != 8192 || err != nil {
@@ -70,7 +71,7 @@ func TestOpenCreateWriteReadClose(t *testing.T) {
 		}
 		ops = append(ops, r.Op)
 	}
-	want := []string{"open", "write", "write", "stat", "read", "close"}
+	want := []string{"open", "write", "write", "stat", "lseek", "read", "close"}
 	if len(ops) != len(want) {
 		t.Fatalf("trace ops = %v, want %v", ops, want)
 	}
@@ -113,7 +114,7 @@ func TestOpenFlags(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		pos, _ := env.Lseek(fd3, 0, SeekCur)
+		pos, _ := env.Lseek(p, fd3, 0, SeekCur)
 		if pos != 100 {
 			t.Errorf("append pos = %d, want 100", pos)
 		}
@@ -126,19 +127,19 @@ func TestLseekWhence(t *testing.T) {
 	run(t, e, func(p *des.Proc) {
 		fd, _ := env.Open(p, "/f", OCreate)
 		_, _ = env.Write(p, fd, 1000)
-		if pos, _ := env.Lseek(fd, 10, SeekSet); pos != 10 {
+		if pos, _ := env.Lseek(p, fd, 10, SeekSet); pos != 10 {
 			t.Errorf("SeekSet = %d", pos)
 		}
-		if pos, _ := env.Lseek(fd, 5, SeekCur); pos != 15 {
+		if pos, _ := env.Lseek(p, fd, 5, SeekCur); pos != 15 {
 			t.Errorf("SeekCur = %d", pos)
 		}
-		if pos, _ := env.Lseek(fd, -100, SeekEnd); pos != 900 {
+		if pos, _ := env.Lseek(p, fd, -100, SeekEnd); pos != 900 {
 			t.Errorf("SeekEnd = %d", pos)
 		}
-		if pos, _ := env.Lseek(fd, -5000, SeekSet); pos != 0 {
+		if pos, _ := env.Lseek(p, fd, -5000, SeekSet); pos != 0 {
 			t.Errorf("negative clamp = %d", pos)
 		}
-		if _, err := env.Lseek(fd, 0, 99); err == nil {
+		if _, err := env.Lseek(p, fd, 0, 99); err == nil {
 			t.Error("bad whence should error")
 		}
 		_ = env.Close(p, fd)
@@ -210,11 +211,11 @@ func TestPwritePreadDoNotMovePosition(t *testing.T) {
 	run(t, e, func(p *des.Proc) {
 		fd, _ := env.Open(p, "/f", OCreate)
 		_, _ = env.Pwrite(p, fd, 1<<20, 4096)
-		if pos, _ := env.Lseek(fd, 0, SeekCur); pos != 0 {
+		if pos, _ := env.Lseek(p, fd, 0, SeekCur); pos != 0 {
 			t.Errorf("pos after pwrite = %d, want 0", pos)
 		}
 		_, _ = env.Pread(p, fd, 0, 4096)
-		if pos, _ := env.Lseek(fd, 0, SeekCur); pos != 0 {
+		if pos, _ := env.Lseek(p, fd, 0, SeekCur); pos != 0 {
 			t.Errorf("pos after pread = %d, want 0", pos)
 		}
 		_ = env.Close(p, fd)

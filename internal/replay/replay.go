@@ -17,6 +17,7 @@ import (
 	"pioeval/internal/pfs"
 	"pioeval/internal/posixio"
 	"pioeval/internal/skeleton"
+	"pioeval/internal/storage"
 	"pioeval/internal/trace"
 )
 
@@ -116,7 +117,7 @@ func RunTraced(e *des.Engine, fs *pfs.FS, rankOps [][]skeleton.ConcreteOp, opts 
 	res := Result{PerRank: make([]des.Time, len(rankOps))}
 	for rank, ops := range rankOps {
 		rank, ops := rank, ops
-		env := posixio.NewEnv(fs.NewClient(fmt.Sprintf("replay%d", rank)), rank, col)
+		env := posixio.NewEnv(storage.Direct(fs.NewClient(fmt.Sprintf("replay%d", rank))), rank, col)
 		env.StripeCount = opts.StripeCount
 		env.StripeSize = opts.StripeSize
 		e.Spawn(fmt.Sprintf("replay.rank%d", rank), func(p *des.Proc) {

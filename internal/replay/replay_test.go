@@ -10,6 +10,7 @@ import (
 	"pioeval/internal/pfs"
 	"pioeval/internal/posixio"
 	"pioeval/internal/skeleton"
+	"pioeval/internal/storage"
 	"pioeval/internal/trace"
 )
 
@@ -28,7 +29,7 @@ func recordRun(ranks int, perRankMB int64) ([]trace.Record, des.Time) {
 	col := trace.NewCollector()
 	for r := 0; r < ranks; r++ {
 		r := r
-		env := posixio.NewEnv(fs.NewClient(fmt.Sprintf("orig%d", r)), r, col)
+		env := posixio.NewEnv(storage.Direct(fs.NewClient(fmt.Sprintf("orig%d", r))), r, col)
 		e.Spawn("app", func(p *des.Proc) {
 			fd, _ := env.Open(p, "/shared", posixio.OCreate)
 			for i := int64(0); i < perRankMB; i++ {

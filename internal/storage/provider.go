@@ -1,0 +1,127 @@
+package storage
+
+import (
+	"fmt"
+
+	"pioeval/internal/blockdev"
+	"pioeval/internal/burstbuffer"
+	"pioeval/internal/des"
+	"pioeval/internal/pfs"
+)
+
+// ProviderConfig tunes the non-direct tiers. The zero value selects
+// defaults everywhere.
+type ProviderConfig struct {
+	// BB configures the burst buffer behind every TierBB target (zero
+	// value = burstbuffer defaults: NVMe staging, 4 GiB, 2 drain workers).
+	BB burstbuffer.Config
+	// LocalDevice constructs the scratch media model for TierNodeLocal
+	// targets (default NVMe).
+	LocalDevice func() blockdev.Model
+	// LocalQueueDepth is the scratch device concurrency (default 8).
+	LocalQueueDepth int
+}
+
+// Provider mints per-compute-node Targets of one tier over a shared
+// cluster. For TierBB the provider shares one burst buffer among all
+// clients routed through the same I/O node (one shared buffer in
+// flat-network mode), matching the Figure-1 placement; for TierNodeLocal
+// every node gets its own private scratch device and namespace.
+type Provider struct {
+	eng  *des.Engine
+	fs   *pfs.FS
+	tier string
+	cfg  ProviderConfig
+
+	buffers map[string]*burstbuffer.Buffer // keyed by I/O node ("" = flat network)
+	order   []*burstbuffer.Buffer          // creation order, for deterministic iteration
+	locals  []*NodeLocal
+}
+
+// NewProvider builds a provider for the given tier name ("" means
+// TierDirect). Unknown tiers are rejected.
+func NewProvider(e *des.Engine, fs *pfs.FS, tier string, cfg ProviderConfig) (*Provider, error) {
+	if tier == "" {
+		tier = TierDirect
+	}
+	switch tier {
+	case TierDirect, TierBB, TierNodeLocal:
+	default:
+		return nil, fmt.Errorf("storage: unknown tier %q (want %s, %s, or %s)",
+			tier, TierDirect, TierBB, TierNodeLocal)
+	}
+	if cfg.LocalDevice == nil {
+		cfg.LocalDevice = func() blockdev.Model { return blockdev.DefaultNVMe() }
+	}
+	if cfg.LocalQueueDepth <= 0 {
+		cfg.LocalQueueDepth = 8
+	}
+	return &Provider{
+		eng: e, fs: fs, tier: tier, cfg: cfg,
+		buffers: map[string]*burstbuffer.Buffer{},
+	}, nil
+}
+
+// Tier returns the provider's tier name (always one of the Tier constants).
+func (pr *Provider) Tier() string { return pr.tier }
+
+// Target mints the storage target for one compute node. Clients are
+// registered with the cluster in call order, so callers must mint targets
+// in a deterministic order (rank order, in practice).
+func (pr *Provider) Target(node string) Target {
+	switch pr.tier {
+	case TierBB:
+		c := pr.fs.NewClient(node)
+		return NewTiered(c, pr.bufferFor(c.IONode()))
+	case TierNodeLocal:
+		nl := NewNodeLocal(pr.eng, node, pr.cfg.LocalDevice(), pr.cfg.LocalQueueDepth)
+		pr.locals = append(pr.locals, nl)
+		return nl
+	default:
+		return Direct(pr.fs.NewClient(node))
+	}
+}
+
+// bufferFor returns (creating on first use) the burst buffer serving one
+// I/O node.
+func (pr *Provider) bufferFor(ionode string) *burstbuffer.Buffer {
+	if bb, ok := pr.buffers[ionode]; ok {
+		return bb
+	}
+	name := "bb0"
+	if ionode != "" {
+		name = "bb-" + ionode
+	}
+	bb := burstbuffer.New(pr.eng, pr.fs, name, pr.cfg.BB)
+	pr.buffers[ionode] = bb
+	pr.order = append(pr.order, bb)
+	return bb
+}
+
+// Buffers returns every burst buffer minted so far, in creation order.
+func (pr *Provider) Buffers() []*burstbuffer.Buffer { return pr.order }
+
+// Locals returns every node-local scratch target minted so far, in
+// creation order.
+func (pr *Provider) Locals() []*NodeLocal { return pr.locals }
+
+// NeedsFinalize reports whether the provider owns background drain workers
+// that must be finalized from a simulated process before the engine
+// drains — otherwise they count as live procs (a reported deadlock).
+func (pr *Provider) NeedsFinalize() bool { return pr.tier == TierBB && len(pr.order) > 0 }
+
+// Finalize waits for every burst buffer to drain, then stops their drain
+// workers. It returns the first drain error encountered (all buffers are
+// still fully drained and shut down on error).
+func (pr *Provider) Finalize(p *des.Proc) error {
+	var first error
+	for _, bb := range pr.order {
+		if err := bb.WaitDrained(p); err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, bb := range pr.order {
+		bb.Shutdown()
+	}
+	return first
+}

@@ -1,0 +1,91 @@
+// Package storage defines the pluggable storage-target seam between the
+// POSIX layer and the backing store. A Target is the data-path surface
+// extracted from pfs.Client — open/create/close, positional reads and
+// writes, fsync, and the metadata operations — so everything above it
+// (posixio, and transitively mpiio, hdf, iolang, the workload generators)
+// programs against an interface instead of a concrete client. Three
+// implementations ship: DirectPFS (every op straight to the parallel file
+// system; behavior-identical to the pre-seam client path), TieredBB (a
+// write-back I/O-node burst buffer in front of the PFS, the Figure-1
+// tiering experiment), and NodeLocal (node-local scratch with no MDS
+// round-trips). Provider mints per-compute-node Targets of one tier over
+// a shared cluster, so harnesses select the backend with a single string.
+package storage
+
+import (
+	"pioeval/internal/des"
+	"pioeval/internal/pfs"
+)
+
+// Tier names understood by NewProvider, the campaign `tier` axis, and the
+// cmd/simfs -tier flag.
+const (
+	TierDirect    = "direct"
+	TierBB        = "bb"
+	TierNodeLocal = "nodelocal"
+)
+
+// FileInfo and Layout alias the PFS metadata types: the seam changes who
+// services an operation, not what file metadata looks like.
+type (
+	FileInfo = pfs.FileInfo
+	Layout   = pfs.Layout
+)
+
+// Namespace and fault errors re-exported at the seam, so the layers above
+// Target classify failures with errors.Is without importing the PFS client
+// package. Identity is preserved (these are the same error values), so
+// targets backed by the PFS need no translation.
+var (
+	ErrExist          = pfs.ErrExist
+	ErrNotExist       = pfs.ErrNotExist
+	ErrIsDir          = pfs.ErrIsDir
+	ErrNotDir         = pfs.ErrNotDir
+	ErrNotEmpty       = pfs.ErrNotEmpty
+	ErrOSTDown        = pfs.ErrOSTDown
+	ErrMDSUnavailable = pfs.ErrMDSUnavailable
+	ErrTimeout        = pfs.ErrTimeout
+	ErrClosedHandle   = pfs.ErrClosedHandle
+)
+
+// DegradedReadError aliases the PFS degraded-read error so POSIX-level
+// short-read accounting works against any target without a pfs import.
+type DegradedReadError = pfs.DegradedReadError
+
+// Handle is an open file on some storage target. The simulation carries
+// no payload bytes, so reads and writes take only geometry; they block in
+// simulated time for however long the target's media and transport cost.
+type Handle interface {
+	// Path returns the path the handle was opened with.
+	Path() string
+	// Write writes size bytes at offset off.
+	Write(p *des.Proc, off, size int64) error
+	// Read reads size bytes at offset off.
+	Read(p *des.Proc, off, size int64) error
+	// Fsync makes previously written data durable on the target's terms
+	// (for a tiered target that means drained to the backing store).
+	Fsync(p *des.Proc) error
+	// Close releases the handle, flushing any buffered writes.
+	Close(p *des.Proc) error
+}
+
+// Target is the data-path surface extracted from pfs.Client: file
+// open/create with stripe hints, stat and the namespace operations. One
+// Target belongs to one simulated compute node.
+type Target interface {
+	// Create creates path with the given stripe hints (0 selects the
+	// target's defaults) and returns an open handle.
+	Create(p *des.Proc, path string, stripeCount int, stripeSize int64) (Handle, error)
+	// Open opens an existing file.
+	Open(p *des.Proc, path string) (Handle, error)
+	// Stat returns file metadata.
+	Stat(p *des.Proc, path string) (FileInfo, error)
+	// Mkdir creates a directory.
+	Mkdir(p *des.Proc, path string) error
+	// Rmdir removes an empty directory.
+	Rmdir(p *des.Proc, path string) error
+	// Unlink removes a file.
+	Unlink(p *des.Proc, path string) error
+	// Readdir lists directory entries in sorted order.
+	Readdir(p *des.Proc, path string) ([]string, error)
+}

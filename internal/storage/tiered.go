@@ -1,0 +1,112 @@
+package storage
+
+import (
+	"pioeval/internal/burstbuffer"
+	"pioeval/internal/des"
+	"pioeval/internal/pfs"
+)
+
+// TieredBB places an I/O-node burst buffer on the data path (the paper's
+// Figure-1 tier): writes stage onto the buffer's SSD at staging speed and
+// drain to the parallel file system asynchronously; reads hit the staging
+// area while data is hot and fall through to the PFS otherwise. The
+// namespace stays on the MDS — create, stat, and the directory operations
+// pass through the compute node's own PFS client, so tiered and direct
+// runs see the same metadata behavior.
+//
+// Durability semantics: Fsync maps to the buffer's WaitDrained, so a file
+// is durable only once its staged bytes have reached the PFS, and drain
+// failures (typed PFS errors that survived the resilience policy's retry
+// budget) surface from Fsync as a *burstbuffer.DrainError.
+type TieredBB struct {
+	c  *pfs.Client
+	bb *burstbuffer.Buffer
+}
+
+// NewTiered builds a tiered target for client c staging through bb. The
+// buffer is typically shared by every client on the same I/O node; use
+// Provider to get that wiring for free.
+func NewTiered(c *pfs.Client, bb *burstbuffer.Buffer) *TieredBB {
+	return &TieredBB{c: c, bb: bb}
+}
+
+// Client returns the metadata-path PFS client.
+func (t *TieredBB) Client() *pfs.Client { return t.c }
+
+// Buffer returns the burst buffer this target stages through.
+func (t *TieredBB) Buffer() *burstbuffer.Buffer { return t.bb }
+
+// Create creates path on the PFS namespace (so the drainer and read-through
+// path can open it) and returns a handle whose data ops ride the buffer.
+func (t *TieredBB) Create(p *des.Proc, path string, stripeCount int, stripeSize int64) (Handle, error) {
+	h, err := t.c.Create(p, path, stripeCount, stripeSize)
+	if err != nil {
+		return nil, err
+	}
+	return &tieredHandle{t: t, ph: h}, nil
+}
+
+// Open opens an existing PFS file for tiered access.
+func (t *TieredBB) Open(p *des.Proc, path string) (Handle, error) {
+	h, err := t.c.Open(p, path)
+	if err != nil {
+		return nil, err
+	}
+	return &tieredHandle{t: t, ph: h}, nil
+}
+
+// Stat returns PFS metadata. Note that file sizes lag staged writes until
+// the drainer lands them — an honest property of write-back tiering.
+func (t *TieredBB) Stat(p *des.Proc, path string) (FileInfo, error) {
+	return t.c.Stat(p, path)
+}
+
+// Mkdir creates a directory on the PFS namespace.
+func (t *TieredBB) Mkdir(p *des.Proc, path string) error { return t.c.Mkdir(p, path) }
+
+// Rmdir removes an empty PFS directory.
+func (t *TieredBB) Rmdir(p *des.Proc, path string) error { return t.c.Rmdir(p, path) }
+
+// Unlink removes a PFS file.
+func (t *TieredBB) Unlink(p *des.Proc, path string) error { return t.c.Unlink(p, path) }
+
+// Readdir lists a PFS directory.
+func (t *TieredBB) Readdir(p *des.Proc, path string) ([]string, error) {
+	return t.c.Readdir(p, path)
+}
+
+// tieredHandle is an open file on a TieredBB target: data ops go to the
+// burst buffer, metadata sticks with the wrapped PFS handle.
+type tieredHandle struct {
+	t  *TieredBB
+	ph *pfs.Handle
+}
+
+// Path returns the handle's path.
+func (h *tieredHandle) Path() string { return h.ph.Path() }
+
+// Write stages the bytes at the burst buffer (SSD speed, backpressure when
+// full) and returns as soon as they are staged; the drain to the PFS is
+// asynchronous. Drain failures surface later, from Fsync.
+func (h *tieredHandle) Write(p *des.Proc, off, size int64) error {
+	h.t.bb.Write(p, h.ph.Path(), off, size)
+	return nil
+}
+
+// Read serves from the staging SSD while staged data is hot, else reads
+// through to the PFS via the buffer's I/O-node client.
+func (h *tieredHandle) Read(p *des.Proc, off, size int64) error {
+	return h.t.bb.Read(p, h.ph.Path(), off, size)
+}
+
+// Fsync waits until every staged byte has drained to the PFS, returning
+// the accumulated drain errors if any writebacks failed for good.
+func (h *tieredHandle) Fsync(p *des.Proc) error {
+	return h.t.bb.WaitDrained(p)
+}
+
+// Close closes the metadata handle. Staged data keeps draining in the
+// background; call Fsync first when durability is required.
+func (h *tieredHandle) Close(p *des.Proc) error {
+	return h.ph.Close(p)
+}

@@ -1,0 +1,251 @@
+package storage
+
+import (
+	"errors"
+	"testing"
+
+	"pioeval/internal/blockdev"
+	"pioeval/internal/burstbuffer"
+	"pioeval/internal/des"
+	"pioeval/internal/faults"
+	"pioeval/internal/pfs"
+)
+
+// singleOST builds a one-OST cluster so fault injection is all-or-nothing
+// per drain segment: a crashed OST fails every stripe of every write.
+func singleOST(seed int64, resilient bool) (*des.Engine, *pfs.FS) {
+	e := des.NewEngine(seed)
+	cfg := pfs.DefaultConfig()
+	cfg.NumOSS, cfg.OSTsPerOSS = 1, 1
+	cfg.NumIONodes = 0
+	cfg.DefaultStripeCount = 1
+	cfg.OSTDevice = func() blockdev.Model { return blockdev.DefaultHDD() }
+	if resilient {
+		cfg.Resilience = pfs.DefaultResilience()
+	}
+	return e, pfs.New(e, cfg)
+}
+
+func inject(t *testing.T, e *des.Engine, fs *pfs.FS, spec string) {
+	t.Helper()
+	c, err := faults.ParseCampaign(spec)
+	if err != nil {
+		t.Fatalf("parse faults: %v", err)
+	}
+	if _, err := faults.Run(e, fs, c); err != nil {
+		t.Fatalf("run faults: %v", err)
+	}
+}
+
+// TestDrainErrorOnOSTCrash: the OST dies mid-drain with no resilience
+// policy, so the remaining staged segments are lost. WaitDrained must
+// report them as a typed *burstbuffer.DrainError wrapping ErrOSTDown, and
+// the accounting must conserve bytes exactly: absorbed = drained + lost,
+// nothing double-counted.
+func TestDrainErrorOnOSTCrash(t *testing.T) {
+	e, fs := singleOST(11, false)
+	// The 32 MiB burst stages quickly onto NVMe; the HDD-backed drain is
+	// still in flight at 50ms when the only OST crashes for good.
+	inject(t, e, fs, "ostcrash:0@50ms")
+	pr, err := NewProvider(e, fs, TierBB, ProviderConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt := pr.Target("cn0")
+	var waitErr error
+	e.Spawn("app", func(p *des.Proc) {
+		h, cerr := tgt.Create(p, "/ckpt", 0, 0)
+		if cerr != nil {
+			t.Errorf("create: %v", cerr)
+			return
+		}
+		for off := int64(0); off < 32<<20; off += 1 << 20 {
+			_ = h.Write(p, off, 1<<20)
+		}
+		waitErr = h.Fsync(p) // = WaitDrained
+		_ = h.Close(p)
+		for _, bb := range pr.Buffers() {
+			bb.Shutdown()
+		}
+	})
+	e.Run(des.MaxTime)
+
+	if waitErr == nil {
+		t.Fatal("WaitDrained returned nil after losing segments")
+	}
+	var de *burstbuffer.DrainError
+	if !errors.As(waitErr, &de) {
+		t.Fatalf("WaitDrained error = %T %v, want *burstbuffer.DrainError", waitErr, waitErr)
+	}
+	if !errors.Is(waitErr, pfs.ErrOSTDown) {
+		t.Errorf("drain error should unwrap to ErrOSTDown, got %v", waitErr)
+	}
+	st := pr.Buffers()[0].Stats()
+	if st.DrainErrors == 0 || st.LostBytes == 0 {
+		t.Fatalf("no loss recorded: %+v", st)
+	}
+	if st.Drained+st.LostBytes != st.Absorbed {
+		t.Fatalf("byte conservation broken: drained %d + lost %d != absorbed %d",
+			st.Drained, st.LostBytes, st.Absorbed)
+	}
+	if st.Used != 0 {
+		t.Errorf("staging not emptied: %d bytes", st.Used)
+	}
+	if de.Bytes != st.LostBytes || de.Segments != st.DrainErrors {
+		t.Errorf("DrainError %+v disagrees with stats %+v", de, st)
+	}
+	// Only the successfully drained bytes may appear on the PFS.
+	if _, w := fs.TotalBytes(); w != st.Drained {
+		t.Errorf("PFS received %d bytes, drain accounted %d", w, st.Drained)
+	}
+}
+
+// TestDrainRecoversWithResilience: the OST crashes and recovers inside the
+// drain client's retry budget, so WaitDrained returns nil, every byte
+// drains exactly once, and nothing is double-counted.
+func TestDrainRecoversWithResilience(t *testing.T) {
+	e, fs := singleOST(12, true)
+	inject(t, e, fs, "ostcrash:0@50ms; ostrecover:0@80ms")
+	pr, err := NewProvider(e, fs, TierBB, ProviderConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt := pr.Target("cn0")
+	var waitErr error
+	e.Spawn("app", func(p *des.Proc) {
+		h, cerr := tgt.Create(p, "/ckpt", 0, 0)
+		if cerr != nil {
+			t.Errorf("create: %v", cerr)
+			return
+		}
+		for off := int64(0); off < 32<<20; off += 1 << 20 {
+			_ = h.Write(p, off, 1<<20)
+		}
+		waitErr = h.Fsync(p)
+		_ = h.Close(p)
+		for _, bb := range pr.Buffers() {
+			bb.Shutdown()
+		}
+	})
+	e.Run(des.MaxTime)
+
+	if waitErr != nil {
+		t.Fatalf("WaitDrained after recovery = %v, want nil", waitErr)
+	}
+	st := pr.Buffers()[0].Stats()
+	if st.Drained != st.Absorbed || st.Absorbed != 32<<20 {
+		t.Fatalf("drain incomplete: %+v", st)
+	}
+	if st.DrainErrors != 0 || st.LostBytes != 0 {
+		t.Fatalf("spurious loss: %+v", st)
+	}
+	if st.Used != 0 {
+		t.Errorf("staging not emptied: %d bytes", st.Used)
+	}
+}
+
+// TestReadThroughMissDuringMDSWindow: a read-through miss that needs a
+// fresh MDS open during an MDS outage must surface ErrMDSUnavailable to
+// the caller and be recorded in the buffer's read-error counters.
+func TestReadThroughMissDuringMDSWindow(t *testing.T) {
+	e, fs := singleOST(13, false)
+	// MDS goes down at 200ms and comes back at 400ms.
+	inject(t, e, fs, "mdsdown@200ms; mdsup@400ms")
+	pr, err := NewProvider(e, fs, TierBB, ProviderConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Seed "/data" on the PFS directly, outside the buffer, so the later
+	// read-through miss has no cached drain handle.
+	seedc := fs.NewClient("seed")
+	e.Spawn("seed", func(p *des.Proc) {
+		h, cerr := seedc.Create(p, "/data", 0, 0)
+		if cerr != nil {
+			t.Errorf("seed create: %v", cerr)
+			return
+		}
+		_ = h.Write(p, 0, 4<<20)
+		_ = h.Close(p)
+	})
+
+	tgt := pr.Target("cn0")
+	var insideErr, afterErr error
+	e.Spawn("app", func(p *des.Proc) {
+		p.Wait(100 * des.Millisecond)   // let the seeding client finish first
+		h, oerr := tgt.Open(p, "/data") // while the MDS is still up
+		if oerr != nil {
+			t.Errorf("open: %v", oerr)
+			return
+		}
+		p.Wait(200 * des.Millisecond) // now inside the MDS window (t=300ms)
+		insideErr = h.Read(p, 0, 1<<20)
+		p.Wait(200 * des.Millisecond) // window over
+		afterErr = h.Read(p, 0, 1<<20)
+		_ = h.Close(p)
+		for _, bb := range pr.Buffers() {
+			bb.Shutdown()
+		}
+	})
+	e.Run(des.MaxTime)
+
+	if !errors.Is(insideErr, pfs.ErrMDSUnavailable) {
+		t.Fatalf("read inside MDS window = %v, want ErrMDSUnavailable", insideErr)
+	}
+	if afterErr != nil {
+		t.Fatalf("read after MDS recovery = %v, want nil", afterErr)
+	}
+	st := pr.Buffers()[0].Stats()
+	if st.ReadErrors != 1 {
+		t.Errorf("ReadErrors = %d, want 1", st.ReadErrors)
+	}
+	if !errors.Is(st.LastReadError, pfs.ErrMDSUnavailable) {
+		t.Errorf("LastReadError = %v", st.LastReadError)
+	}
+	if st.MissReads != 2<<20 {
+		t.Errorf("MissReads = %d, want both read-through attempts tallied", st.MissReads)
+	}
+}
+
+// TestDrainErrorIsSticky: once segments are lost, every later WaitDrained
+// keeps reporting the loss — recovery of the OST does not resurrect bytes
+// that were dropped from staging.
+func TestDrainErrorIsSticky(t *testing.T) {
+	e, fs := singleOST(14, false)
+	inject(t, e, fs, "ostcrash:0@50ms; ostrecover:0@5s")
+	pr, err := NewProvider(e, fs, TierBB, ProviderConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt := pr.Target("cn0")
+	var first, second error
+	e.Spawn("app", func(p *des.Proc) {
+		h, cerr := tgt.Create(p, "/ckpt", 0, 0)
+		if cerr != nil {
+			t.Errorf("create: %v", cerr)
+			return
+		}
+		for off := int64(0); off < 32<<20; off += 1 << 20 {
+			_ = h.Write(p, off, 1<<20)
+		}
+		first = h.Fsync(p)
+		p.Wait(10 * des.Second) // OST long since recovered
+		second = h.Fsync(p)
+		_ = h.Close(p)
+		for _, bb := range pr.Buffers() {
+			bb.Shutdown()
+		}
+	})
+	e.Run(des.MaxTime)
+
+	if first == nil || second == nil {
+		t.Fatalf("sticky drain error lost: first %v, second %v", first, second)
+	}
+	var de1, de2 *burstbuffer.DrainError
+	if !errors.As(first, &de1) || !errors.As(second, &de2) {
+		t.Fatalf("errors not typed: %T, %T", first, second)
+	}
+	if de2.Bytes != de1.Bytes {
+		t.Errorf("loss changed between syncs: %d then %d bytes", de1.Bytes, de2.Bytes)
+	}
+}

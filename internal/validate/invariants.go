@@ -6,6 +6,7 @@ import (
 
 	"pioeval/internal/des"
 	"pioeval/internal/pfs"
+	"pioeval/internal/storage"
 	"pioeval/internal/trace"
 )
 
@@ -64,6 +65,12 @@ type Invariants struct {
 	dropped  uint64
 	finished bool
 
+	// provider, when set via ObserveTier, arms the tier-conservation
+	// checks: byte equality is tracked across the storage-tier boundary
+	// (POSIX → staging → drain → PFS client) instead of assuming the POSIX
+	// layer talks to the PFS client directly.
+	provider *storage.Provider
+
 	// ostSkew is a test-only fault: it is added to the observed OST write
 	// tally before the conservation check, simulating an accounting bug so
 	// tests can prove the checker catches one. Never set outside tests.
@@ -85,6 +92,15 @@ func Attach(e *des.Engine, fs *pfs.FS, col *trace.Collector) *Invariants {
 	}
 	return inv
 }
+
+// ObserveTier tells the checker which storage provider the workload's
+// POSIX environments were minted from, arming the tier-conservation
+// checks at Finish: on the burst-buffer tier every POSIX-written byte
+// must be absorbed by a buffer and every absorbed byte drained to the
+// PFS; on the node-local tier bytes must stay on the scratch devices and
+// never reach PFS clients. A nil or direct-tier provider leaves the
+// original direct-path checks in force.
+func (inv *Invariants) ObserveTier(pr *storage.Provider) { inv.provider = pr }
 
 // violatef records one violation, keeping at most maxRetained verbatim.
 func (inv *Invariants) violatef(invariant, format string, args ...interface{}) {
@@ -226,11 +242,74 @@ func (inv *Invariants) Finish() []Violation {
 			inv.violatef("layer-ordering", "MPI-IO read %d bytes but POSIX only %d (sieving must not lose bytes)",
 				inv.mpiioRead, inv.posixRead)
 		}
-		if inv.posixWrite > inv.clientWrite {
-			inv.violatef("layer-ordering", "POSIX wrote %d bytes but PFS clients only %d", inv.posixWrite, inv.clientWrite)
+		tier := storage.TierDirect
+		if inv.provider != nil {
+			tier = inv.provider.Tier()
 		}
-		if inv.posixRead > inv.clientRead {
-			inv.violatef("layer-ordering", "POSIX read %d bytes but PFS clients only %d", inv.posixRead, inv.clientRead)
+		switch tier {
+		case storage.TierBB:
+			// Byte conservation across the tier boundary: POSIX → staged →
+			// drained → PFS client → OST, with reads split between staging
+			// hits and read-through misses.
+			var absorbed, drained, used, bufReads, missReads int64
+			for _, bb := range inv.provider.Buffers() {
+				st := bb.Stats()
+				absorbed += st.Absorbed
+				drained += st.Drained
+				used += st.Used
+				bufReads += st.BufReads
+				missReads += st.MissReads
+			}
+			if inv.posixWrite != absorbed {
+				inv.violatef("tier-conservation", "POSIX wrote %d bytes but burst buffers absorbed %d (Δ %d)",
+					inv.posixWrite, absorbed, inv.posixWrite-absorbed)
+			}
+			if drained != absorbed {
+				inv.violatef("tier-conservation", "burst buffers absorbed %d bytes but drained %d (Δ %d; fault-free drains must conserve bytes)",
+					absorbed, drained, absorbed-drained)
+			}
+			if used != 0 {
+				inv.violatef("tier-conservation", "%d bytes still staged at shutdown (finalize must drain the buffers)", used)
+			}
+			if drained != inv.clientWrite {
+				inv.violatef("tier-conservation", "burst buffers drained %d bytes but PFS clients wrote %d (Δ %d)",
+					drained, inv.clientWrite, drained-inv.clientWrite)
+			}
+			if inv.posixRead != bufReads+missReads {
+				inv.violatef("tier-conservation", "POSIX read %d bytes but buffers served %d staged + %d read-through",
+					inv.posixRead, bufReads, missReads)
+			}
+			if inv.fs.Config().ClientReadahead == 0 && missReads != inv.clientRead {
+				inv.violatef("tier-conservation", "buffers read %d bytes through the PFS but clients recorded %d",
+					missReads, inv.clientRead)
+			}
+		case storage.TierNodeLocal:
+			// Scratch traffic must stay on the scratch devices.
+			var localRead, localWrite int64
+			for _, nl := range inv.provider.Locals() {
+				st := nl.Stats()
+				localRead += st.BytesRead
+				localWrite += st.BytesWritten
+			}
+			if inv.posixWrite != localWrite {
+				inv.violatef("tier-conservation", "POSIX wrote %d bytes but scratch devices received %d (Δ %d)",
+					inv.posixWrite, localWrite, inv.posixWrite-localWrite)
+			}
+			if inv.posixRead != localRead {
+				inv.violatef("tier-conservation", "POSIX read %d bytes but scratch devices served %d (Δ %d)",
+					inv.posixRead, localRead, inv.posixRead-localRead)
+			}
+			if inv.clientWrite != 0 || inv.clientRead != 0 {
+				inv.violatef("tier-conservation", "node-local tier leaked PFS client traffic: %d written, %d read",
+					inv.clientWrite, inv.clientRead)
+			}
+		default:
+			if inv.posixWrite > inv.clientWrite {
+				inv.violatef("layer-ordering", "POSIX wrote %d bytes but PFS clients only %d", inv.posixWrite, inv.clientWrite)
+			}
+			if inv.posixRead > inv.clientRead {
+				inv.violatef("layer-ordering", "POSIX read %d bytes but PFS clients only %d", inv.posixRead, inv.clientRead)
+			}
 		}
 	} else {
 		// With faults, bytes may legitimately be lost between the client

@@ -10,6 +10,7 @@ import (
 	"pioeval/internal/mpiio"
 	"pioeval/internal/pfs"
 	"pioeval/internal/posixio"
+	"pioeval/internal/storage"
 	"pioeval/internal/trace"
 )
 
@@ -119,7 +120,7 @@ func TestInvariantsMPIIOLayerTallies(t *testing.T) {
 	w := mpi.NewWorld(e, ranks, mpi.DefaultOptions())
 	envs := make([]*posixio.Env, ranks)
 	for i := range envs {
-		envs[i] = posixio.NewEnv(fs.NewClient("cn"+string(rune('0'+i))), i, col)
+		envs[i] = posixio.NewEnv(storage.Direct(fs.NewClient("cn"+string(rune('0'+i)))), i, col)
 	}
 	f := mpiio.NewFile(w, envs, "/coll", mpiio.Hints{CollNodes: 2}, col)
 	w.Spawn(func(r *mpi.Rank) {

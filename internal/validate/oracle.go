@@ -11,6 +11,7 @@ import (
 	"pioeval/internal/mpiio"
 	"pioeval/internal/pfs"
 	"pioeval/internal/posixio"
+	"pioeval/internal/storage"
 )
 
 // OracleResult compares one simulated metric against its closed-form
@@ -64,6 +65,7 @@ func RunOracles(seed int64) []OracleResult {
 		OracleStripedAggregate(seed),
 		OracleCollectiveVolume(seed),
 		OracleBurstBufferDrain(seed),
+		OracleTieredDrain(seed),
 	}
 }
 
@@ -197,7 +199,7 @@ func OracleCollectiveVolume(seed int64) OracleResult {
 	w := mpi.NewWorld(e, ranks, mpi.DefaultOptions())
 	envs := make([]*posixio.Env, ranks)
 	for i := range envs {
-		envs[i] = posixio.NewEnv(fs.NewClient(fmt.Sprintf("cn%d", i)), i, nil)
+		envs[i] = posixio.NewEnv(storage.Direct(fs.NewClient(fmt.Sprintf("cn%d", i))), i, nil)
 	}
 	f := mpiio.NewFile(w, envs, "/coll", mpiio.Hints{CollNodes: 2}, nil)
 	w.Spawn(func(r *mpi.Rank) {
@@ -280,6 +282,71 @@ func OracleBurstBufferDrain(seed int64) OracleResult {
 		Simulated: drained.Seconds(),
 		Tol:       0.05,
 		Detail: fmt.Sprintf("%d MiB burst in %d KiB segments, 1 drain worker; drain = first-segment staging + bytes × (ssdRead + link + devWrite)",
+			total>>20, seg>>10),
+	}
+}
+
+// OracleTieredDrain checks the same drain pipeline as
+// OracleBurstBufferDrain, but driven through the full layered path — a
+// posixio.Env on a burst-buffer-tier storage.Target instead of direct
+// Buffer calls. The POSIX fsync maps to WaitDrained, so time-to-fsync must
+// match the closed-form drain expectation; the seam itself may add only
+// metadata-RPC noise inside the tolerance.
+func OracleTieredDrain(seed int64) OracleResult {
+	const (
+		total = int64(32 << 20)
+		seg   = int64(1 << 20)
+	)
+	cfg := pfs.DefaultConfig()
+	cfg.NumOSS, cfg.OSTsPerOSS = 1, 1
+	cfg.NumIONodes = 0
+	cfg.DefaultStripeCount = 1
+
+	e := des.NewEngine(seed)
+	fs := pfs.New(e, cfg)
+	pcfg := storage.ProviderConfig{BB: burstbuffer.DefaultConfig()}
+	pcfg.BB.DrainWorkers = 1
+	pr, err := storage.NewProvider(e, fs, storage.TierBB, pcfg)
+	if err != nil {
+		panic(fmt.Sprintf("validate: oracle provider: %v", err))
+	}
+	env := posixio.NewEnv(pr.Target("cn0"), 0, nil)
+	var drained des.Time
+	e.Spawn("oracle.tiered-drain", func(p *des.Proc) {
+		fd, err := env.Open(p, "/ckpt", posixio.OCreate)
+		if err != nil {
+			panic(fmt.Sprintf("validate: oracle tiered open: %v", err))
+		}
+		for off := int64(0); off < total; off += seg {
+			if _, werr := env.Pwrite(p, fd, off, seg); werr != nil {
+				panic(fmt.Sprintf("validate: oracle tiered write: %v", werr))
+			}
+		}
+		if err := env.Fsync(p, fd); err != nil {
+			panic(fmt.Sprintf("validate: oracle tiered fsync: %v", err))
+		}
+		drained = p.Now()
+		_ = env.Close(p, fd)
+	})
+	e.Run(des.MaxTime)
+	bb := pr.Buffers()[0]
+	if st := bb.Stats(); st.DrainErrors != 0 || st.Drained != total || st.Used != 0 {
+		panic(fmt.Sprintf("validate: oracle tiered drain lost data: %+v", st))
+	}
+
+	dcfg := fs.Config()
+	stage := pcfg.BB.Device()
+	firstSeg := blockdev.ServiceTime(stage, blockdev.Request{Offset: 0, Size: seg, Write: true}, 0).Seconds()
+	perByte := devSecPerByte(stage, false) +
+		1/float64(dcfg.ComputeFabric.LinkBandwidth) +
+		devSecPerByte(dcfg.OSTDevice(), true)
+	return OracleResult{
+		Name:      "tiered-drain-time",
+		Unit:      "s",
+		Expected:  firstSeg + float64(total)*perByte,
+		Simulated: drained.Seconds(),
+		Tol:       0.05,
+		Detail: fmt.Sprintf("%d MiB burst in %d KiB writes through posixio on the bb tier, 1 drain worker; fsync = WaitDrained must equal the analytic drain time",
 			total>>20, seg>>10),
 	}
 }

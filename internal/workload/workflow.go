@@ -6,6 +6,7 @@ import (
 	"pioeval/internal/des"
 	"pioeval/internal/pfs"
 	"pioeval/internal/posixio"
+	"pioeval/internal/storage"
 	"pioeval/internal/trace"
 )
 
@@ -118,7 +119,7 @@ func RunWorkflow(e *des.Engine, fs *pfs.FS, cfg WorkflowConfig, col *trace.Colle
 
 	for w := 0; w < cfg.Workers; w++ {
 		w := w
-		env := posixio.NewEnv(fs.NewClient(fmt.Sprintf("wfworker%d", w)), w, col)
+		env := posixio.NewEnv(storage.Direct(fs.NewClient(fmt.Sprintf("wfworker%d", w))), w, col)
 		e.Spawn(fmt.Sprintf("wf.worker%d", w), func(p *des.Proc) {
 			if w == 0 {
 				_ = env.Mkdir(p, cfg.Path)

@@ -14,6 +14,7 @@ import (
 	"pioeval/internal/mpi"
 	"pioeval/internal/pfs"
 	"pioeval/internal/posixio"
+	"pioeval/internal/storage"
 	"pioeval/internal/trace"
 )
 
@@ -24,27 +25,61 @@ type Harness struct {
 	World *mpi.World
 	Envs  []*posixio.Env
 	Col   *trace.Collector
+
+	// Provider is the storage provider the rank environments were minted
+	// from (nil means every rank talks straight to the PFS).
+	Provider *storage.Provider
+	// FinalizeErr records the provider finalize (burst-buffer drain) error
+	// from the last Run, nil when clean.
+	FinalizeErr error
 }
 
 // NewHarness creates ranks clients named <prefix>N with a shared collector
-// (col may be nil to disable tracing).
+// (col may be nil to disable tracing). Every rank talks straight to the
+// PFS; use NewHarnessOn to route the ranks through a storage provider.
 func NewHarness(e *des.Engine, fs *pfs.FS, ranks int, prefix string, col *trace.Collector) *Harness {
+	return NewHarnessOn(e, fs, ranks, prefix, col, nil)
+}
+
+// NewHarnessOn is NewHarness with an explicit storage provider: each
+// rank's environment is bound to pr.Target (burst-buffer tier, node-local
+// scratch, ...). A nil provider means direct PFS access.
+func NewHarnessOn(e *des.Engine, fs *pfs.FS, ranks int, prefix string, col *trace.Collector, pr *storage.Provider) *Harness {
 	h := &Harness{
 		Eng: e, FS: fs,
-		World: mpi.NewWorld(e, ranks, mpi.DefaultOptions()),
-		Col:   col,
+		World:    mpi.NewWorld(e, ranks, mpi.DefaultOptions()),
+		Col:      col,
+		Provider: pr,
 	}
 	for i := 0; i < ranks; i++ {
-		h.Envs = append(h.Envs, posixio.NewEnv(fs.NewClient(fmt.Sprintf("%s%d", prefix, i)), i, col))
+		node := fmt.Sprintf("%s%d", prefix, i)
+		var t storage.Target
+		if pr != nil {
+			t = pr.Target(node)
+		} else {
+			t = storage.Direct(fs.NewClient(node))
+		}
+		h.Envs = append(h.Envs, posixio.NewEnv(t, i, col))
 	}
 	return h
 }
 
 // Run spawns fn per rank and drives the engine to completion, returning
-// the makespan. It panics on simulated deadlock, which always indicates a
-// generator bug.
+// the makespan. When the harness's provider owns background drain workers
+// (the burst-buffer tier), rank 0 finalizes them after a barrier — the
+// drain tail lands inside the reported makespan, and any drain error is
+// stored in FinalizeErr. It panics on simulated deadlock, which always
+// indicates a generator bug.
 func (h *Harness) Run(fn func(r *mpi.Rank, env *posixio.Env)) des.Time {
-	h.World.Spawn(func(r *mpi.Rank) { fn(r, h.Envs[r.ID()]) })
+	h.World.Spawn(func(r *mpi.Rank) {
+		fn(r, h.Envs[r.ID()])
+		if h.Provider != nil && h.Provider.NeedsFinalize() {
+			r.Barrier()
+			if r.ID() == 0 {
+				h.FinalizeErr = h.Provider.Finalize(r.Proc())
+			}
+		}
+	})
 	end := h.Eng.Run(des.MaxTime)
 	if h.Eng.LiveProcs() != 0 {
 		panic(fmt.Sprintf("workload: deadlock with %d live procs", h.Eng.LiveProcs()))

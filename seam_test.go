@@ -1,0 +1,61 @@
+package pioeval_test
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestIOStackStaysOffPFSClient pins the storage seam introduced with
+// internal/storage: the layered I/O stack (posixio and everything above
+// it) programs against storage.Target and must never regain a direct
+// dependency on internal/pfs. Test files are exempt — they may build
+// concrete clusters to drive the stack — but production code that needs
+// PFS types goes through the aliases and re-exported sentinels in
+// internal/storage, so a pfs import creeping back in here means the
+// seam has been bypassed.
+func TestIOStackStaysOffPFSClient(t *testing.T) {
+	const forbidden = "pioeval/internal/pfs"
+	guarded := []string{
+		"internal/posixio",
+		"internal/mpiio",
+		"internal/hdf",
+	}
+	fset := token.NewFileSet()
+	for _, dir := range guarded {
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatalf("read %s: %v", dir, err)
+		}
+		checked := 0
+		for _, ent := range ents {
+			name := ent.Name()
+			if ent.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			path := filepath.Join(dir, name)
+			f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+			if err != nil {
+				t.Fatalf("parse %s: %v", path, err)
+			}
+			checked++
+			for _, imp := range f.Imports {
+				p, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					t.Fatalf("%s: bad import literal %s", path, imp.Path.Value)
+				}
+				if p == forbidden {
+					t.Errorf("%s imports %q directly; the I/O stack must go through pioeval/internal/storage",
+						path, forbidden)
+				}
+			}
+		}
+		if checked == 0 {
+			t.Fatalf("no non-test Go files found under %s; guard is vacuous", dir)
+		}
+	}
+}
