@@ -14,13 +14,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
 	"text/tabwriter"
 
 	"pioeval/internal/campaign"
@@ -46,7 +49,13 @@ campaign "baseline-grid" {
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("campaign: ")
-	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+	// First SIGINT/SIGTERM cancels the grid gracefully: the runs that
+	// already finished are aggregated and emitted as a partial report
+	// before exiting non-zero. A second signal kills the process the
+	// default way (NotifyContext unregisters after cancelling).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -54,7 +63,7 @@ func main() {
 // run is the whole command behind a testable seam: flags come from args,
 // all output goes to the supplied writers, and failures return as errors
 // instead of exiting. The golden test drives it with a bytes.Buffer.
-func run(args []string, stdout, stderr io.Writer) error {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("campaign", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	workers := fs.Int("workers", 0, "simultaneous simulations (0 = GOMAXPROCS)")
@@ -139,9 +148,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 			}
 		}
 	}
-	rep, err := campaign.Run(spec, opt)
+	rep, err := campaign.RunContext(ctx, spec, opt)
 	if err != nil {
 		return err
+	}
+	if rep.Cancelled {
+		fmt.Fprintf(stderr, "interrupted: emitting partial results (%d/%d runs)\n",
+			rep.CompletedRuns(), len(rep.Runs))
+	}
+	for _, je := range rep.Errors {
+		fmt.Fprintf(stderr, "run %d (point %d, rep %d) panicked: %s\n", je.Run, je.Point, je.Rep, je.Msg)
 	}
 
 	printSummary(stdout, rep)
@@ -154,6 +170,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if err := writeTo(*csvOut, stdout, rep.WriteCSV); err != nil {
 			return err
 		}
+	}
+	// The partial aggregate has been flushed whole — no truncated files —
+	// but an interrupted campaign is still a failed campaign.
+	if rep.Cancelled {
+		return fmt.Errorf("interrupted after %d/%d runs; partial results emitted", rep.CompletedRuns(), len(rep.Runs))
 	}
 	return nil
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"os"
 	"strings"
@@ -49,7 +50,7 @@ func checkGolden(t *testing.T, path, got string) {
 //	go test ./cmd/campaign -update-golden
 func TestGoldenTinyGrid(t *testing.T) {
 	var out, errb bytes.Buffer
-	if err := run([]string{"-quiet", "-csv", "-", "testdata/tiny.campaign"}, &out, &errb); err != nil {
+	if err := run(context.Background(), []string{"-quiet", "-csv", "-", "testdata/tiny.campaign"}, &out, &errb); err != nil {
 		t.Fatalf("run: %v (stderr: %s)", err, errb.String())
 	}
 	if errb.Len() != 0 {
@@ -64,7 +65,7 @@ func TestGoldenTinyGrid(t *testing.T) {
 func TestGoldenTinyGridStableAcrossRuns(t *testing.T) {
 	runOnce := func(workers string) string {
 		var out, errb bytes.Buffer
-		if err := run([]string{"-quiet", "-workers", workers, "-csv", "-", "testdata/tiny.campaign"}, &out, &errb); err != nil {
+		if err := run(context.Background(), []string{"-quiet", "-workers", workers, "-csv", "-", "testdata/tiny.campaign"}, &out, &errb); err != nil {
 			t.Fatalf("run: %v", err)
 		}
 		return out.String()
@@ -78,7 +79,7 @@ func TestGoldenTinyGridStableAcrossRuns(t *testing.T) {
 // expand to exactly 4 points and run nothing.
 func TestPointsListing(t *testing.T) {
 	var out, errb bytes.Buffer
-	if err := run([]string{"-points", "testdata/tiny.campaign"}, &out, &errb); err != nil {
+	if err := run(context.Background(), []string{"-points", "testdata/tiny.campaign"}, &out, &errb); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	if !strings.Contains(out.String(), "4 points x 2 reps = 8 runs") {
@@ -90,7 +91,36 @@ func TestPointsListing(t *testing.T) {
 // run rather than an exit.
 func TestBadSpecErrors(t *testing.T) {
 	var out, errb bytes.Buffer
-	if err := run([]string{"does-not-exist.campaign"}, &out, &errb); err == nil {
+	if err := run(context.Background(), []string{"does-not-exist.campaign"}, &out, &errb); err == nil {
 		t.Fatal("run succeeded on a missing spec file")
+	}
+}
+
+// TestInterruptEmitsPartialResults: with the context already cancelled,
+// the command must still emit whole (never truncated) summary + CSV
+// output for the runs that completed — here zero — and exit non-zero via
+// an error, with the partial-results notice on stderr.
+func TestInterruptEmitsPartialResults(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out, errb bytes.Buffer
+	err := run(ctx, []string{"-quiet", "-csv", "-", "testdata/tiny.campaign"}, &out, &errb)
+	if err == nil {
+		t.Fatal("interrupted campaign exited zero")
+	}
+	if !strings.Contains(err.Error(), "partial results") {
+		t.Fatalf("error %q does not mention partial results", err)
+	}
+	if !strings.Contains(errb.String(), "interrupted: emitting partial results") {
+		t.Fatalf("stderr missing interrupt notice:\n%s", errb.String())
+	}
+	// The CSV must be complete: header plus one whole row per point.
+	csvStart := strings.Index(out.String(), "point,ranks")
+	if csvStart < 0 {
+		t.Fatalf("no CSV emitted on interrupt:\n%s", out.String())
+	}
+	csv := strings.TrimRight(out.String()[csvStart:], "\n")
+	if rows := strings.Split(csv, "\n"); len(rows) != 1+4 {
+		t.Fatalf("partial CSV has %d rows, want header + 4 points:\n%s", len(rows), csv)
 	}
 }

@@ -10,12 +10,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"text/tabwriter"
 
 	"pioeval/internal/blockdev"
@@ -40,7 +43,12 @@ workload "default" {
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("evalcycle: ")
-	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+	// First SIGINT/SIGTERM cancels a running sweep; completed pairs are
+	// discarded and the command exits non-zero. A second signal kills the
+	// process the default way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -48,7 +56,7 @@ func main() {
 // run is the whole command behind a testable seam: flags come from args,
 // all output goes to the supplied writers, and failures return as errors
 // instead of exiting. The golden test drives it with a bytes.Buffer.
-func run(args []string, stdout, stderr io.Writer) error {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("evalcycle", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	baseDev := fs.String("baseline", "ssd", "baseline OST device: hdd, ssd, nvme")
@@ -77,7 +85,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	if *sweep != "" {
-		return runSweep(stdout, stderr, wl, strings.Split(*sweep, ","), *sweepReps, *iters, *tol, *seed, *workers)
+		return runSweep(ctx, stdout, stderr, wl, strings.Split(*sweep, ","), *sweepReps, *iters, *tol, *seed, *workers)
 	}
 
 	base, err := mkCfg(*baseDev)
@@ -150,7 +158,7 @@ type pairOutcome struct {
 // per-pair convergence distributions. Per-run seeds derive from
 // (seed, run index) exactly as in a grid campaign, so the sweep is
 // reproducible at any worker count.
-func runSweep(stdout, stderr io.Writer, wl *iolang.Workload, devices []string, reps, iters int, tol float64, seed int64, workers int) error {
+func runSweep(ctx context.Context, stdout, stderr io.Writer, wl *iolang.Workload, devices []string, reps, iters int, tol float64, seed int64, workers int) error {
 	var pairs [][2]string
 	for _, b := range devices {
 		for _, t := range devices {
@@ -177,7 +185,7 @@ func runSweep(stdout, stderr io.Writer, wl *iolang.Workload, devices []string, r
 	}
 	outcomes := make([]pairOutcome, len(pairs)*reps)
 	errs := make([]error, len(outcomes))
-	campaign.Pool(len(outcomes), campaign.Options{Workers: workers, OnProgress: func(p campaign.Progress) {
+	pr := campaign.PoolContext(ctx, len(outcomes), campaign.Options{Workers: workers, OnProgress: func(p campaign.Progress) {
 		fmt.Fprintf(stderr, "\rcycle %d/%d elapsed %v eta %v   ", p.Done, p.Total,
 			p.Elapsed.Round(10_000_000), p.ETA.Round(10_000_000))
 		if p.Done == p.Total {
@@ -205,6 +213,12 @@ func runSweep(stdout, stderr io.Writer, wl *iolang.Workload, devices []string, r
 			converged:  res.Converged,
 		}
 	})
+	if pr.Err != nil {
+		return fmt.Errorf("sweep interrupted after %d/%d cycles", pr.Completed, len(outcomes))
+	}
+	for _, p := range pr.Panicked {
+		return fmt.Errorf("cycle %d panicked: %v", p.Index, p.Value)
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err

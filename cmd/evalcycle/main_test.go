@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"os"
 	"strings"
@@ -49,7 +50,7 @@ func checkGolden(t *testing.T, path, got string) {
 //	go test ./cmd/evalcycle -update-golden
 func TestGoldenCycle(t *testing.T) {
 	var out, errb bytes.Buffer
-	if err := run([]string{"-seed", "7", "-iterations", "3"}, &out, &errb); err != nil {
+	if err := run(context.Background(), []string{"-seed", "7", "-iterations", "3"}, &out, &errb); err != nil {
 		t.Fatalf("run: %v (stderr: %s)", err, errb.String())
 	}
 	checkGolden(t, "testdata/cycle_golden.txt", out.String())
@@ -61,7 +62,7 @@ func TestGoldenCycle(t *testing.T) {
 func TestGoldenCycleStableAcrossRuns(t *testing.T) {
 	runOnce := func() string {
 		var out, errb bytes.Buffer
-		if err := run([]string{"-seed", "7", "-iterations", "3"}, &out, &errb); err != nil {
+		if err := run(context.Background(), []string{"-seed", "7", "-iterations", "3"}, &out, &errb); err != nil {
 			t.Fatalf("run: %v", err)
 		}
 		return out.String()
@@ -75,10 +76,10 @@ func TestGoldenCycleStableAcrossRuns(t *testing.T) {
 // error from run rather than an exit.
 func TestBadDeviceErrors(t *testing.T) {
 	var out, errb bytes.Buffer
-	if err := run([]string{"-baseline", "tape"}, &out, &errb); err == nil {
+	if err := run(context.Background(), []string{"-baseline", "tape"}, &out, &errb); err == nil {
 		t.Fatal("run succeeded with an unknown baseline device")
 	}
-	if err := run([]string{"-sweep", "hdd,tape"}, &out, &errb); err == nil {
+	if err := run(context.Background(), []string{"-sweep", "hdd,tape"}, &out, &errb); err == nil {
 		t.Fatal("run succeeded with an unknown sweep device")
 	}
 }

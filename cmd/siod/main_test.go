@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"os"
+	"os/signal"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"pioeval/internal/leakcheck"
+)
+
+// The first signal.Notify anywhere in a process starts a permanent
+// runtime goroutine; start it before leakcheck takes its baseline so the
+// daemon's own Notify isn't misread as a leak.
+func init() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGUSR1)
+	signal.Stop(ch)
+}
+
+// syncBuffer lets the daemon goroutine and the test share a log buffer.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var listenRE = regexp.MustCompile(`listening on (\S+)`)
+
+// TestServeLoadtestDrain runs the whole daemon lifecycle in-process: boot
+// on an ephemeral port, drive it with the CLI load-test mode (including
+// the accounting check), then request a drain and require a clean exit.
+func TestServeLoadtestDrain(t *testing.T) {
+	leakcheck.Check(t)
+	var out syncBuffer
+	stop := make(chan struct{})
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run([]string{
+			"-addr", "127.0.0.1:0",
+			"-queue", "8",
+			"-workers", "2",
+			"-rate", "-1",
+			"-drain", "5s",
+		}, &out, &out, stop)
+	}()
+
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for addr == "" {
+		if m := listenRE.FindStringSubmatch(out.String()); m != nil {
+			addr = m[1]
+		} else if time.Now().After(deadline) {
+			t.Fatalf("daemon never reported its address:\n%s", out.String())
+		} else {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	url := "http://" + addr
+
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	var client bytes.Buffer
+	if err := run([]string{
+		"-loadtest",
+		"-target", url,
+		"-n", "120", "-c", "16", "-unique", "8",
+		"-poison-every", "11", "-disconnect-every", "13",
+		"-check",
+	}, &client, &client, nil); err != nil {
+		t.Fatalf("loadtest mode: %v\n%s", err, client.String())
+	}
+	if !strings.Contains(client.String(), "accounting check passed") {
+		t.Fatalf("loadtest output missing accounting verdict:\n%s", client.String())
+	}
+
+	close(stop)
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("daemon exit: %v\n%s", err, out.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("daemon did not drain and exit:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "drained, exiting") {
+		t.Fatalf("missing drain completion line:\n%s", out.String())
+	}
+}
+
+// TestBadFlags: flag errors surface as errors, not exits.
+func TestBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-definitely-not-a-flag"}, &buf, &buf, nil); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+	if err := run([]string{"positional"}, &buf, &buf, nil); err == nil {
+		t.Fatal("positional arg accepted")
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"pioeval/internal/blockdev"
 	"pioeval/internal/des"
+	"pioeval/internal/leakcheck"
 	"pioeval/internal/pfs"
 )
 
@@ -127,6 +128,9 @@ func TestReadHitFromStaging(t *testing.T) {
 }
 
 func TestShutdownStopsWorkers(t *testing.T) {
+	// Drain workers are real goroutines (des.Engine.Spawn); a missed
+	// shutdown sentinel would leave them parked forever.
+	leakcheck.Check(t)
 	e, _, bb := newSim(0)
 	e.Spawn("app", func(p *des.Proc) {
 		bb.Write(p, "/f", 0, 1<<10)

@@ -24,11 +24,23 @@ type PointSummary struct {
 	Metrics map[string]Dist `json:"metrics"`
 }
 
+// JobError is one run whose simulation panicked; RunContext recovers the
+// panic in the pool worker and records it here instead of letting one
+// poisoned grid point take down the whole campaign.
+type JobError struct {
+	Run   int    `json:"run"`
+	Point int    `json:"point"`
+	Rep   int    `json:"rep"`
+	Msg   string `json:"msg"`
+}
+
 // Report is the aggregated outcome of a campaign: the echoed spec scalars,
 // every per-run result (the raw trajectory), and per-point distribution
 // summaries. Everything in a Report derives from simulated time and the
 // campaign seed — never from wall clocks — so its JSON form is
-// byte-identical across runs and worker counts.
+// byte-identical across runs and worker counts. The omitempty tail fields
+// only appear on degraded campaigns (cancelled mid-grid or with poisoned
+// runs), so clean reports keep their historical byte-identical encoding.
 type Report struct {
 	Name     string         `json:"name"`
 	Workload string         `json:"workload"`
@@ -36,6 +48,24 @@ type Report struct {
 	Reps     int            `json:"reps"`
 	Points   []PointSummary `json:"points"`
 	Runs     []RunResult    `json:"runs"`
+	// Cancelled marks a partial report: the context was cancelled before
+	// every planned run executed. Runs with nil Metrics never ran.
+	Cancelled bool `json:"cancelled,omitempty"`
+	// Errors lists runs that panicked (recovered per-run, see RunContext).
+	Errors []JobError `json:"errors,omitempty"`
+}
+
+// CompletedRuns counts runs that actually executed — on a clean campaign
+// this equals len(Runs); on a cancelled or partially-poisoned one it is
+// smaller.
+func (r *Report) CompletedRuns() int {
+	n := 0
+	for i := range r.Runs {
+		if r.Runs[i].Metrics != nil {
+			n++
+		}
+	}
+	return n
 }
 
 // bootstrapResamples balances CI stability against campaign-aggregation

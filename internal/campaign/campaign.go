@@ -148,6 +148,14 @@ func (s Spec) withDefaults() Spec {
 	return s
 }
 
+// Canonical returns the spec in normal form — every unset scalar and axis
+// replaced by its default — so two spec texts that describe the same
+// campaign compare (and hash) equal. Servers key result caches and
+// single-flight deduplication on a digest of the canonical form; the
+// report they get back is deterministic per canonical spec, so cache hits
+// are exact.
+func (s Spec) Canonical() Spec { return s.withDefaults() }
+
 // Validate rejects specs that would expand into meaningless or unrunnable
 // runs. It is called by Run; callers constructing specs by hand can call
 // it early for better error locality.

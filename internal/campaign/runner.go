@@ -1,8 +1,11 @@
 package campaign
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
+	"sort"
 	"sync"
 	"time"
 
@@ -42,24 +45,58 @@ func (o Options) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// PoolPanic records one pool index whose fn panicked. The pool recovers
+// worker panics so a single poisoned item cannot take down the whole
+// sweep — a prerequisite for long-running servers that feed untrusted
+// specs through the pool.
+type PoolPanic struct {
+	Index int
+	Value string
+	Stack string
+}
+
+// PoolResult reports how a pool invocation ended: how many fn calls
+// returned normally, which panicked (in index order), and whether the
+// context was cancelled before every index ran.
+type PoolResult struct {
+	Completed int
+	Panicked  []PoolPanic
+	// Err is the context error when the pool stopped early, nil on a full
+	// sweep. Indices neither completed nor panicked were never started.
+	Err error
+}
+
 // Pool runs fn(i) for every i in [0, n) on a bounded worker pool. fn must
 // write its result into caller-owned storage indexed by i; the pool
 // imposes no ordering, so determinism comes from indexing, never from
 // completion order. Pool is the generic substrate under Run and is
 // exported for callers with non-grid sweeps (cmd/evalcycle's device-pair
 // sweep uses it directly).
-func Pool(n int, opt Options, fn func(i int)) {
+func Pool(n int, opt Options, fn func(i int)) PoolResult {
+	return PoolContext(context.Background(), n, opt, fn)
+}
+
+// PoolContext is Pool with cancellation: when ctx is cancelled the pool
+// stops handing out new indices, waits for in-flight fn calls to return,
+// and reports the context error in the result. fn itself is not
+// interrupted — cancellation granularity is one fn call.
+func PoolContext(ctx context.Context, n int, opt Options, fn func(i int)) PoolResult {
 	workers := opt.workers()
 	if workers > n {
 		workers = n
 	}
+	var res PoolResult
 	if workers <= 1 {
 		start := time.Now()
 		for i := 0; i < n; i++ {
-			fn(i)
+			if err := ctx.Err(); err != nil {
+				res.Err = err
+				return res
+			}
+			res.record(safeCall(fn, i))
 			notifyProgress(opt, i+1, n, start)
 		}
-		return
+		return res
 	}
 	var (
 		wg   sync.WaitGroup
@@ -73,19 +110,55 @@ func Pool(n int, opt Options, fn func(i int)) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				fn(i)
+				if ctx.Err() != nil {
+					continue // drain without running; the feeder is stopping
+				}
+				p := safeCall(fn, i)
 				mu.Lock()
+				res.record(p)
 				done++
 				notifyProgress(opt, done, n, start)
 				mu.Unlock()
 			}
 		}()
 	}
+feed:
 	for i := 0; i < n; i++ {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(idx)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		res.Err = err
+	}
+	// Workers record in completion order; panics must surface in a stable
+	// order regardless of scheduling.
+	sort.Slice(res.Panicked, func(a, b int) bool { return res.Panicked[a].Index < res.Panicked[b].Index })
+	return res
+}
+
+// safeCall runs fn(i), converting a panic into a PoolPanic instead of
+// unwinding the worker goroutine.
+func safeCall(fn func(int), i int) (p *PoolPanic) {
+	defer func() {
+		if r := recover(); r != nil {
+			p = &PoolPanic{Index: i, Value: fmt.Sprint(r), Stack: string(debug.Stack())}
+		}
+	}()
+	fn(i)
+	return nil
+}
+
+func (r *PoolResult) record(p *PoolPanic) {
+	if p == nil {
+		r.Completed++
+	} else {
+		r.Panicked = append(r.Panicked, *p)
+	}
 }
 
 func notifyProgress(opt Options, done, total int, start time.Time) {
@@ -113,6 +186,22 @@ type RunResult struct {
 // pool, and returns the aggregated report. The report is bit-identical
 // for a given spec regardless of opt.Workers.
 func Run(spec Spec, opt Options) (*Report, error) {
+	return RunContext(context.Background(), spec, opt)
+}
+
+// simulateFn is the per-run simulation entry point; tests swap it to
+// inject deterministic poison (panics, slow runs) without standing up a
+// full cluster.
+var simulateFn = simulate
+
+// RunContext is Run with cancellation and per-run fault isolation. When
+// ctx is cancelled mid-grid, the already-completed runs are aggregated
+// into a partial Report with the Cancelled marker set and a nil error —
+// never a panic or a hang. A run that panics (a poisoned grid point) is
+// recovered and recorded as a typed JobError in the Report; the rest of
+// the grid still runs. Cancellation granularity is one simulation run:
+// an in-flight run finishes before its worker stops.
+func RunContext(ctx context.Context, spec Spec, opt Options) (*Report, error) {
 	spec = spec.withDefaults()
 	if err := spec.Validate(); err != nil {
 		return nil, err
@@ -120,16 +209,26 @@ func Run(spec Spec, opt Options) (*Report, error) {
 	points := spec.Expand()
 	total := len(points) * spec.Reps
 	runs := make([]RunResult, total)
-	Pool(total, opt, func(i int) {
-		p := points[i/spec.Reps]
-		runs[i] = RunResult{
-			Point:   p.ID,
-			Rep:     i % spec.Reps,
-			Seed:    RunSeed(spec.Seed, i),
-			Metrics: simulate(spec, p, RunSeed(spec.Seed, i)),
-		}
+	// Run headers (point, rep, seed) depend only on the spec; prefill them
+	// so a partial report still lists every planned run deterministically,
+	// with nil Metrics marking the ones that never executed.
+	for i := range runs {
+		runs[i] = RunResult{Point: points[i/spec.Reps].ID, Rep: i % spec.Reps, Seed: RunSeed(spec.Seed, i)}
+	}
+	pr := PoolContext(ctx, total, opt, func(i int) {
+		runs[i].Metrics = simulateFn(spec, points[i/spec.Reps], runs[i].Seed)
 	})
-	return aggregate(spec, points, runs), nil
+	rep := aggregate(spec, points, runs)
+	rep.Cancelled = pr.Err != nil
+	for _, p := range pr.Panicked {
+		rep.Errors = append(rep.Errors, JobError{
+			Run:   p.Index,
+			Point: points[p.Index/spec.Reps].ID,
+			Rep:   p.Index % spec.Reps,
+			Msg:   p.Value,
+		})
+	}
+	return rep, nil
 }
 
 // ClusterConfig builds the PFS deployment for one grid point: the default

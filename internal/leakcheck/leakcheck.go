@@ -1,0 +1,66 @@
+// Package leakcheck is a test helper that fails a test when goroutines
+// started during it outlive it. Long-running server components (the
+// serve daemon's workers, campaign pools, burst-buffer drain procs) must
+// be leak-free or a daemon slowly strangles itself; these tests make
+// that a regression instead of a production incident.
+//
+// Usage, first line of the test:
+//
+//	leakcheck.Check(t)
+//
+// Check snapshots the goroutine count and registers a cleanup that
+// allows a settle window (goroutine exit is asynchronous with the events
+// tests observe), then fails with a full stack dump if extra goroutines
+// remain.
+package leakcheck
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// settle is how long a cleanup waits for stragglers to exit before
+// declaring a leak. Generous relative to any in-repo shutdown path, tiny
+// relative to a test-suite run.
+const settle = 5 * time.Second
+
+// Check arms leak detection for the test. Call it before starting any
+// component under test so the baseline excludes the test's own work.
+func Check(t testing.TB) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(settle)
+		var now int
+		for {
+			now = runtime.NumGoroutine()
+			if now <= before {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Errorf("leakcheck: %d goroutines before the test, %d after (waited %v)\n%s",
+			before, now, settle, Dump())
+	})
+}
+
+// Dump returns the current all-goroutine stack dump, trimmed to a
+// readable length.
+func Dump() string {
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	dump := string(buf[:n])
+	const maxLines = 400
+	lines := strings.Split(dump, "\n")
+	if len(lines) > maxLines {
+		dump = strings.Join(lines[:maxLines], "\n") +
+			fmt.Sprintf("\n... (%d more lines)", len(lines)-maxLines)
+	}
+	return dump
+}

@@ -1,0 +1,367 @@
+// Package loadtest is the in-repo load generator for the siod daemon: it
+// hammers a running server with concurrent campaign submissions mixed
+// with hostile traffic — poison (invalid) specs, oversized grids,
+// slow-loris bodies, and mid-flight disconnects — then scrapes /metrics
+// and asserts the daemon degraded gracefully: every admitted job
+// accounted (enqueued == completed + dropped + cancelled), queue and
+// inflight gauges back to zero, no goroutine pile-up.
+//
+// cmd/siod -loadtest is the CLI front end; the serve package's tests
+// drive it in-process against a real listener.
+package loadtest
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"pioeval/internal/serve"
+)
+
+// Config shapes one load run. Zero "Every" fields disable that traffic
+// class; EveryN = 3 means requests 0, 3, 6, ... of that class.
+type Config struct {
+	// Target is the daemon's base URL, e.g. http://127.0.0.1:9090.
+	Target string
+	// Requests is the total submissions (default 200).
+	Requests int
+	// Concurrency is the number of in-flight clients (default 32).
+	Concurrency int
+	// UniqueSpecs is how many distinct specs the run rotates through
+	// (default 16): Requests/UniqueSpecs submissions share each spec, so
+	// single-flight and the result cache are exercised by construction.
+	UniqueSpecs int
+	// PoisonEvery injects an unparseable/invalid spec every Nth request.
+	PoisonEvery int
+	// OversizeEvery injects a spec over the admission limits every Nth.
+	OversizeEvery int
+	// DisconnectEvery abandons the request mid-flight every Nth.
+	DisconnectEvery int
+	// SlowLorisEvery opens a raw connection that dribbles the body and
+	// stalls every Nth request; the server's read timeouts must shed it.
+	SlowLorisEvery int
+	// ClientIDs spreads requests over this many X-Client-ID identities
+	// (default Concurrency) so the token bucket sees distinct clients.
+	ClientIDs int
+	// RequestTimeout bounds one submission round trip (default 60s).
+	RequestTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Requests <= 0 {
+		c.Requests = 200
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 32
+	}
+	if c.UniqueSpecs <= 0 {
+		c.UniqueSpecs = 16
+	}
+	if c.ClientIDs <= 0 {
+		c.ClientIDs = c.Concurrency
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 60 * time.Second
+	}
+	return c
+}
+
+// Result aggregates one load run.
+type Result struct {
+	Sent            int           `json:"sent"`
+	StatusCounts    map[int]int   `json:"status_counts"`
+	CacheHits       int           `json:"cache_hits"`          // responses marked X-Cache: hit
+	Shared          int           `json:"singleflight_shared"` // responses marked X-Singleflight: shared
+	Disconnects     int           `json:"disconnects"`
+	SlowLoris       int           `json:"slow_loris"`
+	TransportErrors int           `json:"transport_errors"`
+	P50             time.Duration `json:"p50_ns"`
+	P95             time.Duration `json:"p95_ns"`
+	Max             time.Duration `json:"max_ns"`
+	Elapsed         time.Duration `json:"elapsed_ns"`
+}
+
+// OK is the count of 200 responses.
+func (r *Result) OK() int { return r.StatusCounts[http.StatusOK] }
+
+// Summary renders the run for humans.
+func (r *Result) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sent %d in %v (%.0f req/s)\n", r.Sent, r.Elapsed.Round(time.Millisecond),
+		float64(r.Sent)/r.Elapsed.Seconds())
+	codes := make([]int, 0, len(r.StatusCounts))
+	for c := range r.StatusCounts {
+		codes = append(codes, c)
+	}
+	sort.Ints(codes)
+	for _, c := range codes {
+		fmt.Fprintf(&b, "  HTTP %d: %d\n", c, r.StatusCounts[c])
+	}
+	fmt.Fprintf(&b, "  cache hits: %d, singleflight shared: %d\n", r.CacheHits, r.Shared)
+	fmt.Fprintf(&b, "  disconnects: %d, slow-loris: %d, transport errors: %d\n",
+		r.Disconnects, r.SlowLoris, r.TransportErrors)
+	fmt.Fprintf(&b, "  latency p50 %v, p95 %v, max %v\n",
+		r.P50.Round(time.Microsecond), r.P95.Round(time.Microsecond), r.Max.Round(time.Microsecond))
+	return b.String()
+}
+
+// specFor renders the i-th request's spec. Requests with the same
+// i%UniqueSpecs submit byte-identical specs (same seed), so concurrent
+// duplicates must single-flight and later ones must hit the cache.
+func specFor(cfg Config, i int) string {
+	return fmt.Sprintf(`
+campaign "loadtest" {
+    workload ior
+    seed %d
+    ranks 2
+    device hdd
+    stripe-count 1
+    block-size 1MB
+    transfer-size 256KB
+}
+`, 1000+i%cfg.UniqueSpecs)
+}
+
+// poisonSpec fails validation (unknown workload) — the daemon must shed
+// it with 400, never crash or account it as work.
+const poisonSpec = `
+campaign "poison" {
+    workload definitely-not-a-workload
+}
+`
+
+// oversizeSpec expands past any sane MaxRuns admission limit.
+const oversizeSpec = `
+campaign "oversize" {
+    workload ior
+    reps 100
+    ranks 1, 2, 3, 4, 5, 6, 7, 8
+    device hdd, ssd, nvme
+    stripe-count 1, 2, 4, 8
+    transfer-size 64KB, 256KB, 1MB
+}
+`
+
+func hits(every, i int) bool { return every > 0 && i%every == 0 }
+
+// Run executes the load profile against cfg.Target and aggregates the
+// outcome. It returns an error only for setup problems; per-request
+// failures are data, not errors.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	base, err := url.Parse(cfg.Target)
+	if err != nil {
+		return nil, fmt.Errorf("loadtest: bad target: %w", err)
+	}
+	submitURL := base.JoinPath("/v1/campaigns").String()
+	client := &http.Client{
+		Timeout: cfg.RequestTimeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        cfg.Concurrency,
+			MaxIdleConnsPerHost: cfg.Concurrency,
+		},
+	}
+	defer client.CloseIdleConnections()
+
+	res := &Result{StatusCounts: map[int]int{}}
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		wg        sync.WaitGroup
+	)
+	idx := make(chan int)
+	start := time.Now()
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				kind, status, cached, shared, lat, terr := doRequest(cfg, client, base, submitURL, i)
+				mu.Lock()
+				res.Sent++
+				switch kind {
+				case kindDisconnect:
+					res.Disconnects++
+				case kindSlowLoris:
+					res.SlowLoris++
+				default:
+					if terr {
+						res.TransportErrors++
+					} else {
+						res.StatusCounts[status]++
+						latencies = append(latencies, lat)
+						if cached {
+							res.CacheHits++
+						}
+						if shared {
+							res.Shared++
+						}
+					}
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := 0; i < cfg.Requests; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(a, b int) bool { return latencies[a] < latencies[b] })
+		res.P50 = latencies[(len(latencies)-1)/2]
+		res.P95 = latencies[(len(latencies)-1)*95/100]
+		res.Max = latencies[len(latencies)-1]
+	}
+	return res, nil
+}
+
+type requestKind int
+
+const (
+	kindNormal requestKind = iota
+	kindDisconnect
+	kindSlowLoris
+)
+
+// doRequest issues the i-th request per the traffic mix. Moduli are
+// checked most-hostile-first so one index belongs to exactly one class.
+func doRequest(cfg Config, client *http.Client, base *url.URL, submitURL string, i int) (kind requestKind, status int, cached, shared bool, lat time.Duration, transportErr bool) {
+	switch {
+	case hits(cfg.SlowLorisEvery, i+1):
+		slowLoris(base)
+		return kindSlowLoris, 0, false, false, 0, false
+	case hits(cfg.DisconnectEvery, i+1):
+		disconnect(client, submitURL, specFor(cfg, i), clientHeader(cfg, i))
+		return kindDisconnect, 0, false, false, 0, false
+	}
+	spec := specFor(cfg, i)
+	if hits(cfg.PoisonEvery, i+1) {
+		spec = poisonSpec
+	} else if hits(cfg.OversizeEvery, i+1) {
+		spec = oversizeSpec
+	}
+	start := time.Now()
+	req, err := http.NewRequest(http.MethodPost, submitURL, strings.NewReader(spec))
+	if err != nil {
+		return kindNormal, 0, false, false, 0, true
+	}
+	req.Header.Set("X-Client-ID", clientHeader(cfg, i))
+	resp, err := client.Do(req)
+	if err != nil {
+		return kindNormal, 0, false, false, 0, true
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return kindNormal, resp.StatusCode,
+		resp.Header.Get("X-Cache") == "hit",
+		resp.Header.Get("X-Singleflight") == "shared",
+		time.Since(start), false
+}
+
+func clientHeader(cfg Config, i int) string {
+	return fmt.Sprintf("lt-client-%d", i%cfg.ClientIDs)
+}
+
+// disconnect submits a real spec, then abandons the request almost
+// immediately — the mid-flight-disconnect traffic class. The daemon must
+// detach the waiter and cancel the job once every client is gone.
+func disconnect(client *http.Client, submitURL, spec, id string) {
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, submitURL, strings.NewReader(spec))
+	if err != nil {
+		cancel()
+		return
+	}
+	req.Header.Set("X-Client-ID", id)
+	done := make(chan struct{})
+	go func() {
+		resp, err := client.Do(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		close(done)
+	}()
+	time.Sleep(time.Millisecond)
+	cancel()
+	<-done
+}
+
+// slowLoris opens a raw connection, sends headers promising a body, then
+// dribbles a few bytes and stalls well past any sane server read
+// timeout. A robust server sheds the connection instead of pinning a
+// handler goroutine forever.
+func slowLoris(base *url.URL) {
+	conn, err := net.DialTimeout("tcp", base.Host, 5*time.Second)
+	if err != nil {
+		return
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "POST /v1/campaigns HTTP/1.1\r\nHost: %s\r\nContent-Type: text/plain\r\nContent-Length: 100000\r\n\r\n", base.Host)
+	for i := 0; i < 50; i++ {
+		if _, err := conn.Write([]byte("x")); err != nil {
+			return // server shed us — the desired outcome
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// FetchMetrics scrapes the daemon's /metrics snapshot.
+func FetchMetrics(target string) (serve.Snapshot, error) {
+	var s serve.Snapshot
+	base, err := url.Parse(target)
+	if err != nil {
+		return s, err
+	}
+	resp, err := http.Get(base.JoinPath("/metrics").String())
+	if err != nil {
+		return s, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return s, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return s, fmt.Errorf("loadtest: /metrics returned %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+	}
+	return s, json.Unmarshal(body, &s)
+}
+
+// WaitIdle polls /metrics until the daemon is quiescent (empty queue,
+// nothing in flight) — abandoned jobs may still be resolving when the
+// load run returns — then hands the settled snapshot to the caller for
+// the accounting check.
+func WaitIdle(target string, timeout time.Duration) (serve.Snapshot, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		s, err := FetchMetrics(target)
+		if err == nil && s.QueueDepth == 0 && s.Inflight == 0 {
+			return s, nil
+		}
+		if time.Now().After(deadline) {
+			if err == nil {
+				err = fmt.Errorf("loadtest: daemon not idle after %v (queue_depth=%d inflight=%d)",
+					timeout, s.QueueDepth, s.Inflight)
+			}
+			return s, err
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// CheckAccounting verifies the dropped-work identity on a settled
+// snapshot: enqueued == completed + dropped + cancelled and both gauges
+// zero. This is the load test's pass/fail line.
+func CheckAccounting(s serve.Snapshot) error { return s.AccountingError() }

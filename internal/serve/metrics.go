@@ -1,0 +1,147 @@
+package serve
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyWindow bounds the sliding sample set behind the p95 estimate;
+// 1024 completed jobs is plenty of resolution for an operational gauge
+// without unbounded growth.
+const latencyWindow = 1024
+
+// Metrics is the daemon's introspection state. Every admitted job is
+// accounted against exactly one terminal counter, so the identity
+//
+//	enqueued == completed + dropped + cancelled
+//
+// holds at every quiescent point (queue empty, nothing in flight); the
+// load-test client asserts it after a run. Counters only ever increase;
+// QueueDepth and Inflight are gauges.
+type Metrics struct {
+	mu sync.Mutex
+
+	enqueued  uint64 // jobs that passed admission and attempted the queue
+	completed uint64 // jobs whose simulation ran to an outcome
+	dropped   uint64 // jobs shed at the queue (enqueue deadline expired)
+	cancelled uint64 // jobs cancelled (deadline, drain, all clients gone)
+
+	cacheHits     uint64
+	cacheMisses   uint64
+	sharedFlights uint64 // submissions served by attaching to an identical in-flight job
+
+	rejectedRateLimit uint64 // 429 at the token bucket
+	rejectedBusy      uint64 // 503 at the admission gate (max in-flight)
+	rejectedDraining  uint64 // 503 while draining
+	rejectedInvalid   uint64 // 400 parse/validate failures
+	rejectedTooLarge  uint64 // 413 body or grid over the admission limits
+
+	jobPanics uint64 // runner panics recovered by the worker (defense in depth)
+
+	queueDepth int64
+	inflight   int64
+
+	latencies [latencyWindow]time.Duration
+	latN      int // total recorded; ring index = latN % latencyWindow
+}
+
+func (m *Metrics) add(c *uint64) {
+	m.mu.Lock()
+	*c++
+	m.mu.Unlock()
+}
+
+func (m *Metrics) gauge(g *int64, delta int64) {
+	m.mu.Lock()
+	*g += delta
+	m.mu.Unlock()
+}
+
+func (m *Metrics) recordLatency(d time.Duration) {
+	m.mu.Lock()
+	m.latencies[m.latN%latencyWindow] = d
+	m.latN++
+	m.mu.Unlock()
+}
+
+// Snapshot is the wire form of Metrics, served as JSON on /metrics.
+type Snapshot struct {
+	Enqueued  uint64 `json:"enqueued"`
+	Completed uint64 `json:"completed"`
+	Dropped   uint64 `json:"dropped"`
+	Cancelled uint64 `json:"cancelled"`
+
+	QueueDepth int64 `json:"queue_depth"`
+	Inflight   int64 `json:"inflight"`
+
+	CacheHits          uint64  `json:"cache_hits"`
+	CacheMisses        uint64  `json:"cache_misses"`
+	CacheHitRate       float64 `json:"cache_hit_rate"`
+	SingleflightShared uint64  `json:"singleflight_shared"`
+
+	RejectedRateLimit uint64 `json:"rejected_ratelimit"`
+	RejectedBusy      uint64 `json:"rejected_busy"`
+	RejectedDraining  uint64 `json:"rejected_draining"`
+	RejectedInvalid   uint64 `json:"rejected_invalid"`
+	RejectedTooLarge  uint64 `json:"rejected_too_large"`
+
+	JobPanics uint64 `json:"job_panics"`
+
+	P95JobLatencyMs float64 `json:"p95_job_latency_ms"`
+	Goroutines      int     `json:"goroutines"`
+}
+
+// Snapshot captures a consistent view of every counter plus derived
+// gauges (cache hit rate, p95 job latency, live goroutine count).
+func (m *Metrics) Snapshot() Snapshot {
+	m.mu.Lock()
+	s := Snapshot{
+		Enqueued: m.enqueued, Completed: m.completed, Dropped: m.dropped, Cancelled: m.cancelled,
+		QueueDepth: m.queueDepth, Inflight: m.inflight,
+		CacheHits: m.cacheHits, CacheMisses: m.cacheMisses, SingleflightShared: m.sharedFlights,
+		RejectedRateLimit: m.rejectedRateLimit, RejectedBusy: m.rejectedBusy,
+		RejectedDraining: m.rejectedDraining, RejectedInvalid: m.rejectedInvalid,
+		RejectedTooLarge: m.rejectedTooLarge,
+		JobPanics:        m.jobPanics,
+	}
+	n := m.latN
+	if n > latencyWindow {
+		n = latencyWindow
+	}
+	if n > 0 {
+		window := make([]time.Duration, n)
+		copy(window, m.latencies[:n])
+		sort.Slice(window, func(a, b int) bool { return window[a] < window[b] })
+		s.P95JobLatencyMs = float64(window[(n-1)*95/100]) / float64(time.Millisecond)
+	}
+	m.mu.Unlock()
+	if tot := s.CacheHits + s.CacheMisses; tot > 0 {
+		s.CacheHitRate = float64(s.CacheHits) / float64(tot)
+	}
+	s.Goroutines = runtime.NumGoroutine()
+	return s
+}
+
+// AccountingError describes a violated metrics invariant; nil means the
+// snapshot is internally consistent. Only meaningful at quiescence —
+// while jobs are in flight, enqueued legitimately runs ahead of the
+// terminal counters.
+func (s Snapshot) AccountingError() error {
+	if s.Enqueued != s.Completed+s.Dropped+s.Cancelled {
+		return &accountingError{s}
+	}
+	if s.QueueDepth != 0 || s.Inflight != 0 {
+		return &accountingError{s}
+	}
+	return nil
+}
+
+type accountingError struct{ s Snapshot }
+
+func (e *accountingError) Error() string {
+	return fmt.Sprintf("serve: dropped-work accounting mismatch: enqueued=%d != completed=%d + dropped=%d + cancelled=%d (queue_depth=%d inflight=%d)",
+		e.s.Enqueued, e.s.Completed, e.s.Dropped, e.s.Cancelled, e.s.QueueDepth, e.s.Inflight)
+}

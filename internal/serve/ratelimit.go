@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// maxBuckets bounds the per-client table; past it, full (stale) buckets
+// are pruned so a client-ID-spraying attacker cannot grow the map
+// without bound.
+const maxBuckets = 4096
+
+// rateLimiter is a per-client token bucket: each client refills at rate
+// tokens/second up to burst, and every submission costs one token. It is
+// the first admission stage, so an abusive client is shed before it can
+// touch the queue or the cache.
+type rateLimiter struct {
+	mu      sync.Mutex
+	rate    float64 // tokens per second
+	burst   float64
+	now     func() time.Time // injectable clock for tests
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newRateLimiter(rate float64, burst int) *rateLimiter {
+	return &rateLimiter{
+		rate:    rate,
+		burst:   float64(burst),
+		now:     time.Now,
+		buckets: make(map[string]*bucket),
+	}
+}
+
+// allow spends one token for client id. When the bucket is empty it
+// returns false plus the wait until one token will have refilled — the
+// Retry-After the handler sends with the 429.
+func (l *rateLimiter) allow(id string) (bool, time.Duration) {
+	if l.rate <= 0 { // unlimited
+		return true, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	b, ok := l.buckets[id]
+	if !ok {
+		if len(l.buckets) >= maxBuckets {
+			l.prune()
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[id] = b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * l.rate
+	if b.tokens > l.burst {
+		b.tokens = l.burst
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+	return false, wait
+}
+
+// prune drops buckets that have refilled to burst — clients idle long
+// enough that forgetting them is behavior-neutral. Called with mu held.
+func (l *rateLimiter) prune() {
+	now := l.now()
+	for id, b := range l.buckets {
+		if b.tokens+now.Sub(b.last).Seconds()*l.rate >= l.burst {
+			delete(l.buckets, id)
+		}
+	}
+}

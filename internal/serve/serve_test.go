@@ -1,0 +1,155 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"pioeval/internal/campaign"
+)
+
+// TestRateLimiterBucket drives the token bucket on an injected clock:
+// burst spends down, refill restores, and the Retry-After hint is the
+// actual wait until one token exists.
+func TestRateLimiterBucket(t *testing.T) {
+	now := time.Unix(1000, 0)
+	l := newRateLimiter(2, 3) // 2 tokens/s, burst 3
+	l.now = func() time.Time { return now }
+	for i := 0; i < 3; i++ {
+		if ok, _ := l.allow("a"); !ok {
+			t.Fatalf("burst request %d rejected", i)
+		}
+	}
+	ok, wait := l.allow("a")
+	if ok {
+		t.Fatal("4th immediate request allowed past burst")
+	}
+	if wait <= 0 || wait > time.Second {
+		t.Fatalf("Retry-After hint %v, want (0, 500ms]-ish for rate 2/s", wait)
+	}
+	// An unrelated client has its own bucket.
+	if ok, _ := l.allow("b"); !ok {
+		t.Fatal("fresh client rejected")
+	}
+	// Refill: 1s at 2/s restores 2 tokens.
+	now = now.Add(time.Second)
+	for i := 0; i < 2; i++ {
+		if ok, _ := l.allow("a"); !ok {
+			t.Fatalf("post-refill request %d rejected", i)
+		}
+	}
+	if ok, _ := l.allow("a"); ok {
+		t.Fatal("3rd post-refill request allowed, only 2 tokens refilled")
+	}
+}
+
+// TestRateLimiterPrune: the bucket table stays bounded under a
+// client-ID-spraying load.
+func TestRateLimiterPrune(t *testing.T) {
+	now := time.Unix(1000, 0)
+	l := newRateLimiter(100, 10)
+	l.now = func() time.Time { return now }
+	for i := 0; i < 3*maxBuckets; i++ {
+		l.allow(fmt.Sprintf("spray-%d", i))
+		now = now.Add(time.Millisecond) // everyone refills to burst quickly
+	}
+	l.mu.Lock()
+	n := len(l.buckets)
+	l.mu.Unlock()
+	if n > maxBuckets+1 {
+		t.Fatalf("bucket table grew to %d entries, bound is %d", n, maxBuckets)
+	}
+}
+
+// TestResultCacheLRU: bounded size, recency-ordered eviction.
+func TestResultCacheLRU(t *testing.T) {
+	c := newResultCache(2)
+	c.put("a", []byte("1"))
+	c.put("b", []byte("2"))
+	if _, ok := c.get("a"); !ok { // refresh a; b is now LRU
+		t.Fatal("a missing")
+	}
+	c.put("c", []byte("3"))
+	if _, ok := c.get("b"); ok {
+		t.Fatal("LRU entry b survived eviction")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("recently-used entry a evicted")
+	}
+	if c.len() != 2 {
+		t.Fatalf("cache len %d, want 2", c.len())
+	}
+	// Disabled cache never stores.
+	d := newResultCache(-1)
+	d.put("x", []byte("1"))
+	if _, ok := d.get("x"); ok {
+		t.Fatal("disabled cache returned a hit")
+	}
+}
+
+// TestSpecKeyCanonicalization: two spellings of the same campaign — one
+// relying on defaults, one writing them out — share a key; a different
+// campaign does not.
+func TestSpecKeyCanonicalization(t *testing.T) {
+	implicit := campaign.Spec{Name: "x", Seed: 42}
+	explicit := campaign.Spec{
+		Name: "x", Workload: "ior", Seed: 42, Reps: 1, Steps: 4,
+		Ranks: []int{4}, Devices: []string{"hdd"},
+		StripeCounts: []int{4}, StripeSizes: []int64{1 << 20},
+		BlockSizes: []int64{16 << 20}, TransferSizes: []int64{1 << 20},
+		Patterns: []string{"sequential"}, Collective: []bool{false},
+		BurstBuffer: []bool{false}, Tiers: []string{""}, Faults: []string{""},
+	}
+	if specKey(implicit) != specKey(explicit) {
+		t.Fatal("defaulted and spelled-out forms of the same spec hash differently")
+	}
+	other := implicit
+	other.Seed = 43
+	if specKey(implicit) == specKey(other) {
+		t.Fatal("different seeds hash identically")
+	}
+}
+
+// TestMetricsAccounting: the identity check accepts balanced books and
+// rejects an unaccounted job or a stuck gauge.
+func TestMetricsAccounting(t *testing.T) {
+	var m Metrics
+	for i := 0; i < 5; i++ {
+		m.add(&m.enqueued)
+	}
+	m.add(&m.completed)
+	m.add(&m.completed)
+	m.add(&m.dropped)
+	m.add(&m.cancelled)
+	if err := m.Snapshot().AccountingError(); err == nil {
+		t.Fatal("unbalanced books (5 != 2+1+1) passed the accounting check")
+	}
+	m.add(&m.completed)
+	if err := m.Snapshot().AccountingError(); err != nil {
+		t.Fatalf("balanced books failed: %v", err)
+	}
+	m.gauge(&m.queueDepth, 1)
+	if err := m.Snapshot().AccountingError(); err == nil {
+		t.Fatal("non-zero queue gauge passed the quiescence check")
+	}
+	m.gauge(&m.queueDepth, -1)
+}
+
+// TestMetricsP95: the latency window reports a sane p95.
+func TestMetricsP95(t *testing.T) {
+	var m Metrics
+	for i := 1; i <= 100; i++ {
+		m.recordLatency(time.Duration(i) * time.Millisecond)
+	}
+	p95 := m.Snapshot().P95JobLatencyMs
+	if p95 < 90 || p95 > 100 {
+		t.Fatalf("p95 over 1..100ms = %vms", p95)
+	}
+	// Overflow the window; old samples fall out.
+	for i := 0; i < latencyWindow; i++ {
+		m.recordLatency(time.Millisecond)
+	}
+	if p95 := m.Snapshot().P95JobLatencyMs; p95 != 1 {
+		t.Fatalf("p95 after window turnover = %vms, want 1", p95)
+	}
+}
