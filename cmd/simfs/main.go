@@ -19,6 +19,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"time"
 
 	"pioeval/internal/cli"
 	"pioeval/internal/des"
@@ -29,6 +30,7 @@ import (
 	"pioeval/internal/storage"
 	"pioeval/internal/trace"
 	"pioeval/internal/validate"
+	"pioeval/internal/workload"
 )
 
 // defaultScenario is the workload -validate runs when no script is given:
@@ -61,6 +63,13 @@ func main() {
 	doValidate := fs.Bool("validate", false, "arm runtime invariant checkers and exit non-zero on any violation (runs a built-in scenario when no script is given)")
 	doOracles := fs.Bool("oracles", false, "run the analytic oracle suite instead of a workload; exit non-zero on failure")
 	tier := fs.String("tier", "direct", "storage tier for workload ranks: direct, bb (burst-buffer write-back), or nodelocal (per-node scratch)")
+	scaleRanks := fs.Int("ranks", 0, "run the built-in scale checkpoint with this many continuation-form ranks instead of a workload script")
+	shards := fs.Int("shards", 1, "partition the scale run into this many engines coupled by a ParallelGroup")
+	shardWorkers := fs.Int("shard-workers", 0, "concurrent shard executors per window (0 = one per shard, 1 = sequential); never affects results")
+	steps := fs.Int("steps", 1, "checkpoint steps for the scale run")
+	bytesPerRank := fs.Int64("bytes-per-rank", 1<<20, "checkpoint bytes per rank per step for the scale run")
+	xfer := fs.Int64("xfer", 1<<20, "write chunk size for the scale run")
+	ranksPerNode := fs.Int("ranks-per-node", 64, "ranks sharing one compute node (and its NIC) in the scale run")
 	_ = fs.Parse(os.Args[1:])
 
 	if *doOracles {
@@ -77,8 +86,8 @@ func main() {
 		}
 		return
 	}
-	if fs.NArg() != 1 && !(*doValidate && fs.NArg() == 0) {
-		log.Fatal("usage: simfs [flags] <workload.iol> (the script may be omitted with -validate)")
+	if *scaleRanks == 0 && fs.NArg() != 1 && !(*doValidate && fs.NArg() == 0) {
+		log.Fatal("usage: simfs [flags] <workload.iol> (the script may be omitted with -validate or -ranks)")
 	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -102,6 +111,17 @@ func main() {
 				log.Fatal(err)
 			}
 		}()
+	}
+	if *scaleRanks > 0 {
+		sc := scaleOpts{
+			ranks: *scaleRanks, shards: *shards, workers: *shardWorkers,
+			steps: *steps, bytesPerRank: *bytesPerRank, xfer: *xfer,
+			ranksPerNode: *ranksPerNode, validate: *doValidate,
+		}
+		if !runScale(cluster, sc) {
+			os.Exit(1)
+		}
+		return
 	}
 	src := []byte(defaultScenario)
 	if fs.NArg() == 1 {
@@ -254,4 +274,127 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// scaleOpts bundles the -ranks scale-mode knobs.
+type scaleOpts struct {
+	ranks, shards, workers, steps int
+	bytesPerRank, xfer            int64
+	ranksPerNode                  int
+	validate                      bool
+}
+
+// runScale executes the built-in scale checkpoint: a file-per-process
+// HACC-IO-like dump where every rank is a continuation-form event process
+// (no goroutine per rank), optionally sharded across engines under a
+// ParallelGroup. It reports simulated results plus host-side cost — wall
+// time, event throughput, and heap bytes per rank. Returns false when an
+// armed invariant was violated.
+func runScale(cluster cli.ClusterFlags, o scaleOpts) bool {
+	cfg, err := cluster.Config()
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc := workload.ScaleConfig{
+		Ranks:        o.ranks,
+		BytesPerRank: o.bytesPerRank,
+		Steps:        o.steps,
+		TransferSize: o.xfer,
+		RanksPerNode: o.ranksPerNode,
+		// A million per-process files striped wide is not how FPP
+		// checkpoints behave: one stripe per file.
+		StripeCount: 1,
+	}
+
+	runtime.GC()
+	var m0 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	wall0 := time.Now()
+
+	var invs []*validate.Invariants
+	// keepFS pins the simulation state through the post-run heap
+	// measurement, so "heap B/rank" reports retained simulator footprint
+	// (engine pool, clients, namespace) instead of zero after collection.
+	var keepFS []*pfs.FS
+	attach := func(e *des.Engine, sim *pfs.FS) {
+		col := trace.NewCollector()
+		col.SetLimit(1) // records flow through the invariant hook; retention is not needed
+		invs = append(invs, validate.Attach(e, sim, col))
+	}
+
+	var makespan des.Time
+	var totalBytes int64
+	var effMBps float64
+	var events uint64
+	var ioErrors uint64
+	if o.shards <= 1 {
+		e := des.NewEngine(cluster.Seed)
+		sim := pfs.New(e, cfg)
+		keepFS = append(keepFS, sim)
+		if o.validate {
+			attach(e, sim)
+		}
+		rep := workload.RunScaleCheckpoint(e, sim, sc)
+		makespan, totalBytes, effMBps, events, ioErrors =
+			rep.Makespan, rep.TotalBytes, rep.EffectiveMBps, rep.Events, rep.IOErrors
+	} else {
+		shcfg := workload.ShardedConfig{
+			Scale: sc, Shards: o.shards, Workers: o.workers,
+			FS: cfg, Seed: cluster.Seed,
+		}
+		shcfg.AttachShard = func(shard int, e *des.Engine, sim *pfs.FS) {
+			keepFS = append(keepFS, sim)
+			if o.validate {
+				attach(e, sim)
+			}
+		}
+		rep := workload.RunShardedCheckpoint(shcfg)
+		makespan, totalBytes, effMBps, events, ioErrors =
+			rep.Makespan, rep.TotalBytes, rep.EffectiveMBps, rep.Events, rep.IOErrors
+		fmt.Printf("sharded: %d shards (workers %d), ranks/shard %v, lookahead %v\n",
+			rep.Shards, rep.Workers, rep.RanksPerShard, rep.Lookahead)
+	}
+
+	wall := time.Since(wall0)
+	runtime.GC()
+	var m1 runtime.MemStats
+	runtime.ReadMemStats(&m1)
+	heapPerRank := int64(0)
+	if m1.HeapAlloc > m0.HeapAlloc {
+		heapPerRank = int64(m1.HeapAlloc-m0.HeapAlloc) / int64(o.ranks)
+	}
+	runtime.KeepAlive(keepFS)
+
+	nodes := (o.ranks + o.ranksPerNode - 1) / o.ranksPerNode
+	fmt.Printf("scale checkpoint: %d ranks (%d nodes x %d), %d step(s), %s/rank\n",
+		o.ranks, nodes, o.ranksPerNode, o.steps, cli.FormatSize(o.bytesPerRank))
+	fmt.Printf("  simulated: makespan %v, %s checkpointed, effective %.1f MB/s, %d I/O errors\n",
+		makespan, cli.FormatSize(totalBytes), effMBps, ioErrors)
+	evRate := float64(events) / wall.Seconds()
+	fmt.Printf("  host: %d events in %v (%.2fM events/s), heap %d B/rank\n",
+		events, wall.Round(time.Millisecond), evRate/1e6, heapPerRank)
+
+	ok := true
+	for _, inv := range invs {
+		for _, v := range inv.Finish() {
+			fmt.Printf("validation: VIOLATION %s\n", v)
+			ok = false
+		}
+	}
+	if o.validate {
+		var disp, recs, clops, ostev uint64
+		for _, inv := range invs {
+			st := inv.Stats()
+			disp += st.Dispatches
+			recs += st.TraceRecords
+			clops += st.ClientOps
+			ostev += st.OSTEvents
+		}
+		fmt.Printf("validation: %d dispatches, %d trace records, %d client ops, %d OST events checked\n",
+			disp, recs, clops, ostev)
+		if ok {
+			fmt.Println("validation: all invariants held")
+		}
+	}
+	return ok
 }

@@ -206,6 +206,55 @@ func (d *Device) Access(p *des.Proc, req Request) {
 	}
 }
 
+// AccessE is the continuation form of Access: it performs the request in
+// simulated time on the calling EventProc and runs k on completion. Cost
+// model, queueing, and accounting are identical to Access.
+func (d *Device) AccessE(ep *des.EventProc, req Request, k func()) {
+	if req.Size < 0 || req.Offset < 0 {
+		panic(fmt.Sprintf("blockdev: bad request %+v", req))
+	}
+	d.queue.AcquireE(ep, func() {
+		if d.inflight == 0 {
+			d.busySince = ep.Now()
+		}
+		d.inflight++
+		lat, xfer := d.model.Cost(req, d.prevEnd)
+		if d.slowdown > 1 {
+			lat = des.Time(float64(lat) * d.slowdown)
+			xfer = des.Time(float64(xfer) * d.slowdown)
+		}
+		d.prevEnd = req.Offset + req.Size
+		fin := func() {
+			d.inflight--
+			if d.inflight == 0 {
+				d.busyAccum += ep.Now() - d.busySince
+			}
+			d.queue.Release()
+			d.busy += lat + xfer
+			if req.Write {
+				d.writes++
+				d.bytesWritten += req.Size
+			} else {
+				d.reads++
+				d.bytesRead += req.Size
+			}
+			k()
+		}
+		media := func() {
+			if xfer > 0 {
+				d.media.UseE(ep, xfer, fin)
+			} else {
+				fin()
+			}
+		}
+		if lat > 0 {
+			ep.Wait(lat, media)
+		} else {
+			media()
+		}
+	})
+}
+
 // Name returns the device name.
 func (d *Device) Name() string { return d.name }
 

@@ -73,6 +73,89 @@ func BenchmarkProcHandoff(b *testing.B) {
 	e.Run(MaxTime)
 }
 
+// BenchmarkEventProcHandoff measures a full suspend/resume cycle of a
+// continuation-form process: every Wait stores the continuation, schedules
+// an ep-carrying pooled event, and the engine loop invokes the
+// continuation in place — no goroutine, no stack switch, no channel
+// rendezvous. This is the ProcHandoff-equivalent number for the
+// continuation execution form.
+func BenchmarkEventProcHandoff(b *testing.B) {
+	e := NewEngine(1)
+	e.SpawnEvent("p", func(ep *EventProc) {
+		n := 0
+		var step func()
+		step = func() {
+			n++
+			if n < b.N {
+				ep.Wait(1, step)
+			}
+		}
+		ep.Wait(1, step)
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Run(MaxTime)
+}
+
+// BenchmarkEventProcQueuePingPong is QueuePingPong in continuation form:
+// two event procs exchange a token through a pair of queues with zero
+// goroutine handoffs.
+func BenchmarkEventProcQueuePingPong(b *testing.B) {
+	e := NewEngine(1)
+	ab := NewQueue[int](e, "ab")
+	ba := NewQueue[int](e, "ba")
+	e.SpawnEvent("a", func(ep *EventProc) {
+		i := 0
+		var step func(int)
+		step = func(int) {
+			i++
+			if i < b.N {
+				ab.Put(i)
+				ba.GetE(ep, step)
+			}
+		}
+		ab.Put(0)
+		ba.GetE(ep, step)
+	})
+	e.SpawnEvent("b", func(ep *EventProc) {
+		var step func(int)
+		step = func(int) {
+			ba.Put(0)
+			ab.GetE(ep, step)
+		}
+		ab.GetE(ep, step)
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Run(MaxTime)
+}
+
+// BenchmarkEventProcResourceContention is ResourceContention in
+// continuation form: 8 event procs cycle through a capacity-2 resource.
+func BenchmarkEventProcResourceContention(b *testing.B) {
+	e := NewEngine(1)
+	r := NewResource(e, "r", 2)
+	per := b.N / 8
+	if per == 0 {
+		per = 1
+	}
+	for i := 0; i < 8; i++ {
+		e.SpawnEvent("u", func(ep *EventProc) {
+			k := 0
+			var step func()
+			step = func() {
+				k++
+				if k < per {
+					r.UseE(ep, 1, step)
+				}
+			}
+			r.UseE(ep, 1, step)
+		})
+	}
+	b.ResetTimer()
+	e.Run(MaxTime)
+}
+
 // BenchmarkResourceContention measures queued Acquire/Release cycles under
 // contention.
 func BenchmarkResourceContention(b *testing.B) {

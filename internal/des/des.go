@@ -1,10 +1,29 @@
 // Package des implements a deterministic discrete-event simulation engine.
 //
-// The engine is process-oriented: simulated entities run as goroutines that
-// block on simulation primitives (Wait, Acquire, Get). The engine executes
-// exactly one process at a time and advances a virtual clock between events,
-// so simulations are fully deterministic for a given seed and are not
-// affected by wall-clock scheduling.
+// The engine is process-oriented and offers two execution forms for
+// simulated entities, interchangeable on one Engine:
+//
+//   - Goroutine procs (Spawn): entities run as goroutines that block on
+//     simulation primitives (Wait, Acquire, Get). Natural sequential code;
+//     each entity costs a goroutine stack and a channel rendezvous per wake.
+//   - Continuation procs (SpawnEvent): entities are state machines whose
+//     blocking points pass an explicit continuation (WaitE-style methods:
+//     Wait(d, k), Queue.GetE, Resource.AcquireE). No goroutine, stack, or
+//     channel per entity — a wake is a pooled event dispatch calling a
+//     function pointer, ~20x cheaper than a goroutine handoff — which is
+//     what makes million-rank simulations affordable. A step that returns
+//     without arming exactly one blocking point terminates the proc; arming
+//     two panics.
+//
+// Both forms share every primitive: Queue, Resource, Signal, and WaitGroup
+// keep one waiter FIFO, so mixed-form waiters wake in strict arrival order
+// and the two forms are timing-equivalent on identical workloads. The
+// engine executes exactly one process at a time and advances a virtual
+// clock between events, so simulations are fully deterministic for a given
+// seed and are not affected by wall-clock scheduling. ParallelGroup extends
+// this across engines: conservative (CMB-style) lookahead windows let
+// disjoint partitions run on concurrent workers with byte-identical results
+// at any worker count.
 //
 // The package is the substrate for every simulator in this repository: the
 // network fabric, the parallel file system, the MPI runtime, and the burst
@@ -14,7 +33,8 @@
 // index-stable pooled slot array recycled through a freelist, ordered by an
 // inlined 4-ary min-heap of slot indices, and events scheduled for the
 // current timestamp during dispatch bypass the heap entirely through a FIFO
-// ring. See DESIGN.md ("DES kernel internals") for the invariants.
+// ring. See DESIGN.md ("DES kernel internals" and "Execution forms") for
+// the invariants.
 package des
 
 import (
@@ -65,10 +85,13 @@ func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
 type event struct {
 	at  Time
 	seq uint64 // tie-breaker for determinism: FIFO among simultaneous events
-	// Exactly one of fire/proc is set: fire is a callback, proc is a
-	// blocked process the engine resumes directly (no closure needed).
-	fire func()
-	proc *Proc
+	// Exactly one of fire/proc/eproc is set: fire is a callback, proc is a
+	// blocked goroutine process the engine resumes directly, and eproc is
+	// a blocked continuation process whose stored continuation the engine
+	// invokes in place (no closure needed for either process form).
+	fire  func()
+	proc  *Proc
+	eproc *EventProc
 	// gen is bumped every time the slot is freed; cancel handles capture
 	// (index, gen) so a stale cancel of a recycled slot is a no-op.
 	gen uint32
@@ -118,11 +141,12 @@ type Engine struct {
 	// at a time and waits for it to yield back.
 	yield chan struct{}
 
-	running   bool
-	procs     int // live process count, for leak detection
-	nextPID   int
-	rng       *StreamRNG
-	tracehook func(at Time, what string)
+	running    bool
+	procs      int // live process count (both forms), for leak detection
+	nextPID    int
+	dispatched uint64
+	rng        *StreamRNG
+	tracehook  func(at Time, what string)
 }
 
 // NewEngine returns an engine with its clock at zero and an attached
@@ -170,6 +194,7 @@ func (e *Engine) freeSlot(idx int32) {
 	ev := &e.pool[idx]
 	ev.fire = nil
 	ev.proc = nil
+	ev.eproc = nil
 	ev.canceled = false
 	ev.gen++
 	e.free = append(e.free, idx)
@@ -189,6 +214,22 @@ func (e *Engine) schedule(at Time, fn func(), p *Proc) int32 {
 		e.heapPush(idx)
 	}
 	return idx
+}
+
+// scheduleEP enqueues a continuation-process wake at absolute time at. It
+// is the EventProc analogue of a proc-carrying schedule: the slot carries
+// the process handle and the engine invokes its stored continuation.
+func (e *Engine) scheduleEP(at Time, ep *EventProc) {
+	if at < e.now {
+		panic(fmt.Sprintf("des: scheduling into the past: at=%v now=%v", at, e.now))
+	}
+	idx := e.alloc(at, nil, nil)
+	e.pool[idx].eproc = ep
+	if e.running && at == e.now {
+		e.imm = append(e.imm, idx)
+	} else {
+		e.heapPush(idx)
+	}
 }
 
 // heapPush inserts slot idx into the 4-ary heap.
@@ -354,18 +395,24 @@ func (e *Engine) Run(horizon Time) Time {
 			return e.now
 		}
 		e.now = ev.at
-		fire, proc := ev.fire, ev.proc
+		fire, proc, eproc := ev.fire, ev.proc, ev.eproc
 		e.freeSlot(idx)
+		e.dispatched++
 		if e.tracehook != nil {
 			e.tracehook(e.now, "event")
 		}
-		if proc != nil {
+		switch {
+		case proc != nil:
 			// Direct handoff: resume the blocked process goroutine and
 			// wait for it to yield control back. One reusable rendezvous
 			// per switch; no scheduled closure.
 			proc.resume <- struct{}{}
 			<-e.yield
-		} else {
+		case eproc != nil:
+			// Continuation dispatch: run the stored continuation in
+			// place. No stack switch at all.
+			eproc.enter()
+		default:
 			fire()
 		}
 	}
@@ -422,7 +469,12 @@ func (e *Engine) Pending() int {
 	return n
 }
 
-// LiveProcs reports the number of spawned processes that have not finished.
-// A non-zero value after Run returns with an empty queue indicates processes
-// blocked forever (deadlock in the simulated system).
+// LiveProcs reports the number of spawned processes — goroutine Procs and
+// continuation EventProcs — that have not finished. A non-zero value after
+// Run returns with an empty queue indicates processes blocked forever
+// (deadlock in the simulated system).
 func (e *Engine) LiveProcs() int { return e.procs }
+
+// Dispatches reports the total number of events dispatched by Run; scale
+// tooling uses it to report events/sec.
+func (e *Engine) Dispatches() uint64 { return e.dispatched }

@@ -482,7 +482,7 @@ func TestQueueNoWaiterRetention(t *testing.T) {
 		t.Fatalf("served = %d, want 5", served)
 	}
 	for i, w := range q.getters.buf {
-		if w != nil {
+		if w != (waiter{}) {
 			t.Errorf("getter slot %d retains a process reference", i)
 		}
 	}
@@ -503,7 +503,7 @@ func TestResourceNoWaiterRetention(t *testing.T) {
 	}
 	e.Run(MaxTime)
 	for i, w := range r.waiters.buf {
-		if w != nil {
+		if w != (waiter{}) {
 			t.Errorf("waiter slot %d retains a process reference", i)
 		}
 	}

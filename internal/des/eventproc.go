@@ -1,0 +1,131 @@
+package des
+
+import "fmt"
+
+// EventProc is the continuation (goroutine-free) execution form of a
+// simulated process. Where a Proc is a goroutine that blocks on simulation
+// primitives, an EventProc is a handle whose blocking points are
+// continuation callbacks dispatched directly from the event loop: no
+// goroutine, no stack, no channel rendezvous. A blocked EventProc costs
+// one pooled event (or one waiter-FIFO slot) plus the continuation it
+// carries, so simulations with hundreds of thousands to millions of
+// mostly-blocked entities stay cheap where one goroutine per entity would
+// not.
+//
+// The two forms interoperate on the same Engine and the same primitives:
+// Queue, Resource, Signal, and WaitGroup each have a blocking method for
+// Procs (Get, Acquire, Wait) and a continuation method for EventProcs
+// (GetE, AcquireE, WaitE), and waiters of both forms share one FIFO, so
+// wake order is strict arrival order regardless of form.
+//
+// Determinism rules (see DESIGN.md "Execution forms"):
+//
+//   - One thread of control: an EventProc may have at most one pending
+//     blocking point. Registering a second before the first fires panics.
+//     Fork by spawning more EventProcs and joining on a WaitGroup.
+//   - Ready paths run synchronously: a continuation primitive whose
+//     condition already holds (queue non-empty, resource free, WaitGroup
+//     at zero) invokes the continuation inline without yielding — exactly
+//     as the goroutine form returns without blocking — so both forms
+//     observe the same event interleavings.
+//   - An EventProc ends when a continuation step returns without
+//     registering a new blocking point. It counts toward
+//     Engine.LiveProcs until then, so deadlock detection covers both
+//     forms.
+type EventProc struct {
+	eng  *Engine
+	pid  int
+	name string
+
+	// k is the pending continuation; it is dispatched either by an
+	// ep-carrying pooled event (Wait) or by a waiter-FIFO wake
+	// (Queue/Resource/Signal), whichever blocking point armed it.
+	k     func()
+	armed bool
+	live  bool
+}
+
+// SpawnEvent starts fn as a new continuation-form process at the current
+// time. fn runs as the first continuation step; the process lives until a
+// step returns without blocking.
+func (e *Engine) SpawnEvent(name string, fn func(ep *EventProc)) *EventProc {
+	return e.SpawnEventAt(0, name, fn)
+}
+
+// SpawnEventAt starts fn as a new continuation-form process after delay d.
+func (e *Engine) SpawnEventAt(d Time, name string, fn func(ep *EventProc)) *EventProc {
+	if d < 0 {
+		panic(fmt.Sprintf("des: negative spawn delay %v for event proc %s", d, name))
+	}
+	ep := &EventProc{eng: e, pid: e.nextPID, name: name, live: true}
+	e.nextPID++
+	e.procs++
+	ep.k = func() { fn(ep) }
+	e.scheduleEP(e.now+d, ep)
+	return ep
+}
+
+// enter runs the pending continuation as one step. If the step returns
+// without arming a new blocking point, the process has finished.
+func (ep *EventProc) enter() {
+	k := ep.k
+	ep.k = nil
+	ep.armed = false
+	k()
+	if !ep.armed && ep.live {
+		ep.live = false
+		ep.eng.procs--
+	}
+}
+
+// arm registers k as the continuation for the blocking point being
+// installed. Exactly one blocking point may be pending per step.
+func (ep *EventProc) arm(k func()) {
+	if ep.armed {
+		panic(fmt.Sprintf("des: event proc %s blocked twice in one step", ep.name))
+	}
+	if !ep.live {
+		panic(fmt.Sprintf("des: blocking call on finished event proc %s", ep.name))
+	}
+	ep.armed = true
+	ep.k = k
+}
+
+// wakeNow schedules the armed continuation to run at the current time,
+// after the currently dispatching event completes. Used by the waiter
+// FIFOs; the continuation was stored by arm.
+func (ep *EventProc) wakeNow() { ep.eng.scheduleEP(ep.eng.now, ep) }
+
+// Wait schedules k to run after simulated delay d — the continuation
+// analogue of Proc.Wait. The wake is an ep-carrying pooled event: no
+// closure is scheduled and steady-state waits allocate nothing.
+func (ep *EventProc) Wait(d Time, k func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("des: negative wait %v in event proc %s", d, ep.name))
+	}
+	ep.arm(k)
+	ep.eng.scheduleEP(ep.eng.now+d, ep)
+}
+
+// WaitUntil schedules k at absolute time at, running it synchronously if
+// at is not in the future (matching Proc.WaitUntil's no-yield fast path).
+func (ep *EventProc) WaitUntil(at Time, k func()) {
+	if at <= ep.eng.now {
+		k()
+		return
+	}
+	ep.arm(k)
+	ep.eng.scheduleEP(at, ep)
+}
+
+// Engine returns the engine this process runs on.
+func (ep *EventProc) Engine() *Engine { return ep.eng }
+
+// Now returns the current simulated time.
+func (ep *EventProc) Now() Time { return ep.eng.now }
+
+// Name returns the process name given at SpawnEvent.
+func (ep *EventProc) Name() string { return ep.name }
+
+// PID returns the unique process id (shared sequence with goroutine Procs).
+func (ep *EventProc) PID() int { return ep.pid }

@@ -1,0 +1,229 @@
+package des
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestMixedFormQueueFIFO checks that queue getters of both execution
+// forms are served in strict arrival order: goroutine and continuation
+// waiters share one FIFO, and each Put wakes exactly the longest-waiting
+// getter regardless of its form.
+func TestMixedFormQueueFIFO(t *testing.T) {
+	run := func() []string {
+		var log []string
+		e := NewEngine(1)
+		q := NewQueue[int](e, "q")
+		// Getters arrive at 1ms, 2ms, 3ms, 4ms, alternating forms.
+		e.Spawn("g0", func(p *Proc) {
+			p.Wait(1 * Millisecond)
+			v := q.Get(p)
+			log = append(log, fmt.Sprintf("g0:%d", v))
+		})
+		e.SpawnEvent("e1", func(ep *EventProc) {
+			ep.Wait(2*Millisecond, func() {
+				q.GetE(ep, func(v int) {
+					log = append(log, fmt.Sprintf("e1:%d", v))
+				})
+			})
+		})
+		e.Spawn("g2", func(p *Proc) {
+			p.Wait(3 * Millisecond)
+			v := q.Get(p)
+			log = append(log, fmt.Sprintf("g2:%d", v))
+		})
+		e.SpawnEvent("e3", func(ep *EventProc) {
+			ep.Wait(4*Millisecond, func() {
+				q.GetE(ep, func(v int) {
+					log = append(log, fmt.Sprintf("e3:%d", v))
+				})
+			})
+		})
+		e.After(10*Millisecond, func() {
+			for i := 0; i < 4; i++ {
+				q.Put(i)
+			}
+		})
+		e.Run(MaxTime)
+		if n := e.LiveProcs(); n != 0 {
+			t.Fatalf("LiveProcs = %d after run, want 0", n)
+		}
+		return log
+	}
+	got := run()
+	want := []string{"g0:0", "e1:1", "g2:2", "e3:3"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("wake order = %v, want %v", got, want)
+	}
+	if again := run(); !reflect.DeepEqual(again, got) {
+		t.Errorf("mixed-form run not deterministic: %v vs %v", again, got)
+	}
+}
+
+// TestMixedFormResourceFIFO checks that a contended resource grants units
+// in strict arrival order across execution forms.
+func TestMixedFormResourceFIFO(t *testing.T) {
+	var order []string
+	e := NewEngine(1)
+	r := NewResource(e, "r", 1)
+	e.Spawn("holder", func(p *Proc) {
+		r.Acquire(p)
+		p.Wait(10 * Millisecond)
+		r.Release()
+	})
+	hold := func(name string) {
+		e.Spawn(name, func(p *Proc) {
+			r.Acquire(p)
+			order = append(order, name)
+			p.Wait(1 * Millisecond)
+			r.Release()
+		})
+	}
+	holdE := func(name string) {
+		e.SpawnEvent(name, func(ep *EventProc) {
+			r.AcquireE(ep, func() {
+				order = append(order, name)
+				ep.Wait(1*Millisecond, func() {
+					r.Release()
+				})
+			})
+		})
+	}
+	// Arrival order interleaves forms; spawn order is arrival order since
+	// all contenders hit Acquire at time zero in spawn sequence.
+	hold("g1")
+	holdE("e2")
+	hold("g3")
+	holdE("e4")
+	e.Run(MaxTime)
+	want := []string{"g1", "e2", "g3", "e4"}
+	if !reflect.DeepEqual(order, want) {
+		t.Errorf("grant order = %v, want %v", order, want)
+	}
+}
+
+// TestMixedFormSignalOrder checks that Fire wakes signal waiters of both
+// forms in arrival order.
+func TestMixedFormSignalOrder(t *testing.T) {
+	var order []string
+	e := NewEngine(1)
+	s := NewSignal(e)
+	e.Spawn("g0", func(p *Proc) {
+		s.Wait(p)
+		order = append(order, "g0")
+	})
+	e.SpawnEvent("e1", func(ep *EventProc) {
+		s.WaitE(ep, func() {
+			order = append(order, "e1")
+		})
+	})
+	e.Spawn("g2", func(p *Proc) {
+		s.Wait(p)
+		order = append(order, "g2")
+	})
+	e.After(1*Millisecond, s.Fire)
+	e.Run(MaxTime)
+	want := []string{"g0", "e1", "g2"}
+	if !reflect.DeepEqual(order, want) {
+		t.Errorf("wake order = %v, want %v", order, want)
+	}
+}
+
+// TestEventProcWaitGroup checks WaitE across both spawn forms: an event
+// proc joins on work done by goroutine and event children.
+func TestEventProcWaitGroup(t *testing.T) {
+	e := NewEngine(1)
+	wg := NewWaitGroup(e)
+	var done Time
+	e.SpawnEvent("parent", func(ep *EventProc) {
+		for i := 1; i <= 3; i++ {
+			i := i
+			wg.Add(1)
+			if i%2 == 0 {
+				e.Spawn("gchild", func(p *Proc) {
+					p.Wait(Time(i) * Millisecond)
+					wg.Done()
+				})
+			} else {
+				e.SpawnEvent("echild", func(c *EventProc) {
+					c.Wait(Time(i)*Millisecond, wg.Done)
+				})
+			}
+		}
+		wg.WaitE(ep, func() {
+			done = ep.Now()
+		})
+	})
+	e.Run(MaxTime)
+	if done != 3*Millisecond {
+		t.Errorf("join completed at %v, want 3ms", done)
+	}
+	if n := e.LiveProcs(); n != 0 {
+		t.Errorf("LiveProcs = %d, want 0", n)
+	}
+}
+
+// TestEventProcAutoTerminate checks the lifecycle rule: a step that
+// returns without arming a blocking point finishes the process, and
+// LiveProcs tracks event procs exactly like goroutine procs.
+func TestEventProcAutoTerminate(t *testing.T) {
+	e := NewEngine(1)
+	steps := 0
+	e.SpawnEvent("p", func(ep *EventProc) {
+		steps++
+		ep.Wait(1*Millisecond, func() {
+			steps++
+			// No blocking call: the proc terminates here.
+		})
+	})
+	if n := e.LiveProcs(); n != 1 {
+		t.Fatalf("LiveProcs before run = %d, want 1", n)
+	}
+	e.Run(MaxTime)
+	if steps != 2 {
+		t.Errorf("steps = %d, want 2", steps)
+	}
+	if n := e.LiveProcs(); n != 0 {
+		t.Errorf("LiveProcs after run = %d, want 0", n)
+	}
+}
+
+// TestEventProcDoubleArmPanics checks that arming two blocking points in
+// one step — which would corrupt the single-continuation invariant — is
+// rejected loudly.
+func TestEventProcDoubleArmPanics(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic from double arm")
+		}
+		if !strings.Contains(fmt.Sprint(r), "blocked twice") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	e := NewEngine(1)
+	e.SpawnEvent("p", func(ep *EventProc) {
+		ep.Wait(1*Millisecond, func() {})
+		ep.Wait(2*Millisecond, func() {})
+	})
+	e.Run(MaxTime)
+}
+
+// TestEventProcWaitUntil checks the synchronous past-deadline fast path.
+func TestEventProcWaitUntil(t *testing.T) {
+	e := NewEngine(1)
+	var at Time
+	e.SpawnEvent("p", func(ep *EventProc) {
+		ep.WaitUntil(0, func() { // already due: runs synchronously
+			ep.WaitUntil(5*Millisecond, func() {
+				at = ep.Now()
+			})
+		})
+	})
+	e.Run(MaxTime)
+	if at != 5*Millisecond {
+		t.Errorf("resumed at %v, want 5ms", at)
+	}
+}

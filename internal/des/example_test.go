@@ -39,6 +39,32 @@ func ExampleEngine_After() {
 	// 5ms second
 }
 
+// ExampleEngine_SpawnEvent shows the continuation (goroutine-free)
+// execution form: each blocking point passes an explicit continuation,
+// and a step that returns without arming one terminates the process.
+// Both forms coexist on one engine and share queues and resources; a
+// rank in this form costs one small struct plus a pooled event slot,
+// which is what makes million-rank simulations affordable.
+func ExampleEngine_SpawnEvent() {
+	e := des.NewEngine(1)
+	q := des.NewQueue[string](e, "mailbox")
+	e.SpawnEvent("producer", func(ep *des.EventProc) {
+		ep.Wait(3*des.Millisecond, func() {
+			q.Put("ping")
+		})
+	})
+	e.SpawnEvent("consumer", func(ep *des.EventProc) {
+		q.GetE(ep, func(msg string) {
+			fmt.Printf("%v got %q\n", ep.Now(), msg)
+		})
+	})
+	end := e.Run(des.MaxTime)
+	fmt.Printf("makespan %v\n", end)
+	// Output:
+	// 3ms got "ping"
+	// makespan 3ms
+}
+
 // ExampleStreamRNG shows named random streams: each stream's sequence
 // depends only on the root seed and the stream name, so adding a new
 // stream never perturbs existing ones.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // ParallelGroup executes several independent engines (logical partitions)
@@ -18,6 +19,7 @@ import (
 type ParallelGroup struct {
 	engines   []*Engine
 	lookahead Time
+	workers   int
 
 	mu      sync.Mutex
 	inbox   []crossEvent
@@ -49,6 +51,14 @@ func (g *ParallelGroup) Engine(i int) *Engine { return g.engines[i] }
 
 // Lookahead returns the group lookahead.
 func (g *ParallelGroup) Lookahead() Time { return g.lookahead }
+
+// SetWorkers bounds how many partitions execute concurrently within a
+// window: n == 1 runs partitions sequentially in index order, n <= 0 or
+// n >= len(engines) uses one goroutine per partition (the default). The
+// choice never affects results — windows are barrier-synchronized and
+// partitions within a window are independent — so any worker count must
+// produce identical output; tests and the -race shard smoke rely on that.
+func (g *ParallelGroup) SetWorkers(n int) { g.workers = n }
 
 // Send schedules fn to run on partition `to` after delay `delay` measured
 // from partition `from`'s current time. The delay must be at least the
@@ -123,17 +133,38 @@ func (g *ParallelGroup) Run(horizon Time) Time {
 			g.engines[ce.to].schedule(ce.at, ce.fn, nil)
 		}
 
-		// Execute the window concurrently, one goroutine per partition.
-		var wg sync.WaitGroup
-		for _, e := range g.engines {
-			wg.Add(1)
-			go func(e *Engine) {
-				defer wg.Done()
+		// Execute the window with up to `workers` partitions in flight
+		// (one goroutine per partition by default, strictly sequential
+		// when workers == 1).
+		w := g.workers
+		if w <= 0 || w > len(g.engines) {
+			w = len(g.engines)
+		}
+		if w == 1 {
+			for _, e := range g.engines {
 				e.Run(windowEnd)
 				e.AdvanceTo(windowEnd)
-			}(e)
+			}
+		} else {
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			for i := 0; i < w; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						i := int(next.Add(1)) - 1
+						if i >= len(g.engines) {
+							return
+						}
+						e := g.engines[i]
+						e.Run(windowEnd)
+						e.AdvanceTo(windowEnd)
+					}
+				}()
+			}
+			wg.Wait()
 		}
-		wg.Wait()
 	}
 	var last Time
 	for _, e := range g.engines {

@@ -96,9 +96,11 @@ func (p *Proc) WaitUntil(at Time) {
 
 // Signal is a broadcast condition: processes wait on it and a later Fire
 // releases all current waiters. A Signal can be reused after firing.
+// Waiters of both execution forms share one list and are released in
+// strict arrival order.
 type Signal struct {
 	eng     *Engine
-	waiters []*Proc
+	waiters []waiter
 }
 
 // NewSignal creates a Signal bound to engine e.
@@ -106,8 +108,15 @@ func NewSignal(e *Engine) *Signal { return &Signal{eng: e} }
 
 // Wait blocks the calling process until the next Fire.
 func (s *Signal) Wait(p *Proc) {
-	s.waiters = append(s.waiters, p)
+	s.waiters = append(s.waiters, waiter{p: p})
 	p.block()
+}
+
+// WaitE is the continuation form of Wait: k runs when the next Fire
+// releases the signal.
+func (s *Signal) WaitE(ep *EventProc, k func()) {
+	ep.arm(k)
+	s.waiters = append(s.waiters, waiter{ep: ep})
 }
 
 // Fire releases all processes currently waiting on the signal.
@@ -116,7 +125,7 @@ func (s *Signal) Fire() {
 	ws := s.waiters
 	s.waiters = nil
 	for _, w := range ws {
-		w.wakeNow()
+		w.wake()
 	}
 }
 
@@ -153,4 +162,15 @@ func (wg *WaitGroup) Wait(p *Proc) {
 	for wg.n > 0 {
 		wg.doneS.Wait(p)
 	}
+}
+
+// WaitE is the continuation form of Wait: k runs once the counter reaches
+// zero, synchronously when it already is (matching Wait's no-yield fast
+// path), re-checking across Fires exactly like the goroutine form's loop.
+func (wg *WaitGroup) WaitE(ep *EventProc, k func()) {
+	if wg.n == 0 {
+		k()
+		return
+	}
+	wg.doneS.WaitE(ep, func() { wg.WaitE(ep, k) })
 }

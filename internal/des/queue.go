@@ -1,41 +1,62 @@
 package des
 
-// procFIFO is a ring-buffered FIFO of blocked processes, shared by queue
-// getters and resource wait lists. Unlike a head-sliced `[]*Proc`, popped
+// waiter is one blocked process of either execution form: a goroutine
+// Proc, or a continuation EventProc whose pending continuation was stored
+// by arm. Queue getters, resource wait lists, and signals hold waiters of
+// both forms in one FIFO, so wake order is strict arrival order regardless
+// of form — a wake schedules one current-time event either way, and event
+// sequence numbers preserve the pop order.
+type waiter struct {
+	p  *Proc
+	ep *EventProc
+}
+
+// wake schedules the process to continue at the current time.
+func (w waiter) wake() {
+	if w.p != nil {
+		w.p.wakeNow()
+	} else {
+		w.ep.wakeNow()
+	}
+}
+
+// waiterFIFO is a ring-buffered FIFO of blocked processes, shared by queue
+// getters and resource wait lists. Unlike a head-sliced slice, popped
 // slots are cleared, so finished processes never linger reachable in the
 // backing array, and the ring is reused without further allocation.
-type procFIFO struct {
-	buf  []*Proc
+type waiterFIFO struct {
+	buf  []waiter
 	head int
 	n    int
 }
 
-func (f *procFIFO) push(p *Proc) {
+func (f *waiterFIFO) push(w waiter) {
 	if f.n == len(f.buf) {
-		nb := make([]*Proc, max(8, 2*len(f.buf)))
+		nb := make([]waiter, max(8, 2*len(f.buf)))
 		for i := 0; i < f.n; i++ {
 			nb[i] = f.buf[(f.head+i)&(len(f.buf)-1)]
 		}
 		f.buf = nb
 		f.head = 0
 	}
-	f.buf[(f.head+f.n)&(len(f.buf)-1)] = p
+	f.buf[(f.head+f.n)&(len(f.buf)-1)] = w
 	f.n++
 }
 
-// pop removes and returns the longest-waiting process, or nil when empty.
-func (f *procFIFO) pop() *Proc {
+// pop removes and returns the longest-waiting process; ok is false when
+// the FIFO is empty.
+func (f *waiterFIFO) pop() (w waiter, ok bool) {
 	if f.n == 0 {
-		return nil
+		return waiter{}, false
 	}
-	p := f.buf[f.head]
-	f.buf[f.head] = nil
+	w = f.buf[f.head]
+	f.buf[f.head] = waiter{}
 	f.head = (f.head + 1) & (len(f.buf) - 1)
 	f.n--
-	return p
+	return w, true
 }
 
-func (f *procFIFO) len() int { return f.n }
+func (f *waiterFIFO) len() int { return f.n }
 
 // Queue is an unbounded FIFO message store for inter-process communication
 // in simulated time: Put never blocks, Get blocks until an item is present.
@@ -52,7 +73,7 @@ type Queue[T any] struct {
 	head int
 	n    int
 
-	getters procFIFO
+	getters waiterFIFO
 
 	puts    uint64
 	peakLen int
@@ -80,18 +101,32 @@ func (q *Queue[T]) Put(v T) {
 	if q.n > q.peakLen {
 		q.peakLen = q.n
 	}
-	if g := q.getters.pop(); g != nil {
-		g.wakeNow()
+	if g, ok := q.getters.pop(); ok {
+		g.wake()
 	}
 }
 
 // Get removes and returns the oldest item, blocking until one is available.
 func (q *Queue[T]) Get(p *Proc) T {
 	for q.n == 0 {
-		q.getters.push(p)
+		q.getters.push(waiter{p: p})
 		p.block()
 	}
 	return q.take()
+}
+
+// GetE is the continuation form of Get: when an item is available it is
+// delivered to k synchronously (matching Get's no-yield fast path);
+// otherwise the process joins the getter FIFO and k runs when its wake
+// finds an item. Like the goroutine form, a woken getter that finds the
+// queue emptied again (a TryGet raced it) re-enters at the back.
+func (q *Queue[T]) GetE(ep *EventProc, k func(T)) {
+	if q.n > 0 {
+		k(q.take())
+		return
+	}
+	ep.arm(func() { q.GetE(ep, k) })
+	q.getters.push(waiter{ep: ep})
 }
 
 // TryGet removes and returns the oldest item without blocking.

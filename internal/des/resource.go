@@ -10,7 +10,7 @@ type Resource struct {
 	name     string
 	capacity int
 	inUse    int
-	waiters  procFIFO
+	waiters  waiterFIFO
 
 	// Utilization accounting.
 	busyTime   Time // integral of inUse over time, in unit-nanoseconds
@@ -35,7 +35,7 @@ func (r *Resource) account() {
 // Acquire obtains one unit of the resource, blocking in FIFO order.
 func (r *Resource) Acquire(p *Proc) {
 	for r.inUse >= r.capacity {
-		r.waiters.push(p)
+		r.waiters.push(waiter{p: p})
 		if r.waiters.len() > r.peakQueue {
 			r.peakQueue = r.waiters.len()
 		}
@@ -44,6 +44,26 @@ func (r *Resource) Acquire(p *Proc) {
 	r.account()
 	r.inUse++
 	r.acquired++
+}
+
+// AcquireE is the continuation form of Acquire: when a unit is free, k
+// runs synchronously (matching Acquire's no-yield fast path); otherwise
+// the process joins the wait FIFO — shared with goroutine waiters, in
+// strict arrival order — and re-checks on wake, re-entering at the back
+// if a TryAcquire raced it (exactly the goroutine form's loop).
+func (r *Resource) AcquireE(ep *EventProc, k func()) {
+	if r.inUse >= r.capacity {
+		ep.arm(func() { r.AcquireE(ep, k) })
+		r.waiters.push(waiter{ep: ep})
+		if r.waiters.len() > r.peakQueue {
+			r.peakQueue = r.waiters.len()
+		}
+		return
+	}
+	r.account()
+	r.inUse++
+	r.acquired++
+	k()
 }
 
 // TryAcquire obtains a unit without blocking; it reports whether it succeeded.
@@ -64,8 +84,8 @@ func (r *Resource) Release() {
 	}
 	r.account()
 	r.inUse--
-	if w := r.waiters.pop(); w != nil {
-		w.wakeNow()
+	if w, ok := r.waiters.pop(); ok {
+		w.wake()
 	}
 }
 
@@ -75,6 +95,17 @@ func (r *Resource) Use(p *Proc, d Time) {
 	r.Acquire(p)
 	p.Wait(d)
 	r.Release()
+}
+
+// UseE is the continuation form of Use: acquire, hold for service time d,
+// release, then run k.
+func (r *Resource) UseE(ep *EventProc, d Time, k func()) {
+	r.AcquireE(ep, func() {
+		ep.Wait(d, func() {
+			r.Release()
+			k()
+		})
+	})
 }
 
 // InUse reports the number of units currently held.

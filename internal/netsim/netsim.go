@@ -211,6 +211,104 @@ func (f *Fabric) Transfer(p *des.Proc, src, dst string, size int64) {
 	}
 }
 
+// transferE is the state machine behind TransferE: one chunk cycle is
+// acquire sender link -> (acquire backplane) -> acquire receiver link ->
+// hold for the serialization time -> release in reverse order -> next
+// chunk. The continuation methods are bound once at construction so the
+// per-chunk loop allocates nothing beyond the struct itself.
+type transferE struct {
+	f       *Fabric
+	ep      *des.EventProc
+	s, d    *endpoint
+	remain  int64
+	chunk   int64
+	n       int64    // current chunk size
+	t       des.Time // current chunk serialization time
+	k       func()
+	stepF   func()
+	afterBF func()
+	afterIF func()
+	doneF   func()
+}
+
+func (t *transferE) step() {
+	if t.remain <= 0 {
+		t.k()
+		return
+	}
+	t.n = t.chunk
+	if t.n > t.remain {
+		t.n = t.remain
+	}
+	t.s.out.AcquireE(t.ep, t.afterBF)
+}
+
+// afterOut holds the sender link: compute the chunk cost and take the
+// backplane when present.
+func (t *transferE) afterOut() {
+	t.t = t.f.scaled(transferTime(t.n, t.f.cfg.LinkBandwidth))
+	if t.f.backplane != nil {
+		t.f.backplane.AcquireE(t.ep, t.afterIF)
+		return
+	}
+	t.afterIn()
+}
+
+// afterIn holds everything up to the receiver link: apply the backplane
+// cost and serialize the chunk.
+func (t *transferE) afterIn() {
+	if t.f.backplane != nil {
+		if bt := t.f.scaled(transferTime(t.n, t.f.cfg.BackplaneBandwidth)); bt > t.t {
+			t.t = bt
+		}
+	}
+	t.d.in.AcquireE(t.ep, func() { t.ep.Wait(t.t, t.doneF) })
+}
+
+func (t *transferE) done() {
+	t.d.in.Release()
+	if t.f.backplane != nil {
+		t.f.backplane.Release()
+	}
+	t.s.out.Release()
+	t.remain -= t.n
+	t.step()
+}
+
+// TransferE is the continuation form of Transfer: it moves size bytes from
+// src to dst in simulated time and runs k on completion, using the calling
+// EventProc for all queueing. Cost model and contention behaviour are
+// identical to Transfer.
+func (f *Fabric) TransferE(ep *des.EventProc, src, dst string, size int64, k func()) {
+	if size < 0 {
+		panic("netsim: negative transfer size")
+	}
+	s, ok := f.nodes[src]
+	if !ok {
+		panic(fmt.Sprintf("netsim: unknown src node %q", src))
+	}
+	d, ok := f.nodes[dst]
+	if !ok {
+		panic(fmt.Sprintf("netsim: unknown dst node %q", dst))
+	}
+	f.messages++
+	f.bytesMoved += size
+	if src == dst {
+		ep.Wait(f.scaled(f.cfg.Latency/2), k)
+		return
+	}
+	chunk := f.cfg.MTU
+	if chunk <= 0 || chunk > size {
+		chunk = size
+	}
+	t := &transferE{f: f, ep: ep, s: s, d: d, remain: size, chunk: chunk, k: k}
+	t.stepF = t.step
+	t.afterBF = t.afterOut
+	t.afterIF = t.afterIn
+	t.doneF = t.done
+	ep.Wait(f.scaled(f.cfg.Latency), t.stepF)
+}
+
 // RTT returns the zero-payload round-trip time estimate (2x latency).
 func (f *Fabric) RTT() des.Time { return 2 * f.cfg.Latency }
 

@@ -93,6 +93,22 @@ func (c *Client) Stats() ClientStats { return c.stats }
 // NewClient registers a new client on compute node nodeName.
 func (fs *FS) NewClient(nodeName string) *Client {
 	fs.compute.AddNode(nodeName)
+	return fs.newClientOn(nodeName)
+}
+
+// NewClientAt registers a client on compute node nodeName, creating the
+// node on first use and sharing it afterwards: clients on the same node
+// contend for the same NIC injection/ejection links, the way multiple
+// ranks per compute node do on a real machine. Scale runs use this to
+// keep per-rank fabric state sublinear in rank count.
+func (fs *FS) NewClientAt(nodeName string) *Client {
+	if !fs.compute.HasNode(nodeName) {
+		fs.compute.AddNode(nodeName)
+	}
+	return fs.newClientOn(nodeName)
+}
+
+func (fs *FS) newClientOn(nodeName string) *Client {
 	c := &Client{fs: fs, node: nodeName, wbCapacity: fs.cfg.ClientWriteBehind}
 	if len(fs.ionodes) > 0 {
 		c.ionode = fs.ionodes[fs.nextION%len(fs.ionodes)]

@@ -207,6 +207,21 @@ func (fs *FS) mdsExec(p *des.Proc, op MetaOp, fn func() error) error {
 	return fn()
 }
 
+// mdsExecE is the continuation form of mdsExec: queueing + CPU on the
+// calling EventProc, then fn applied to the namespace and its error handed
+// to k.
+func (fs *FS) mdsExecE(ep *des.EventProc, op MetaOp, fn func() error, k func(error)) {
+	m := fs.mds
+	m.threads.AcquireE(ep, func() {
+		ep.Wait(m.opCost, func() {
+			m.threads.Release()
+			m.ops[op]++
+			m.busy += m.opCost
+			k(fn())
+		})
+	})
+}
+
 // LayoutPolicy selects the OST allocation strategy for new files.
 type LayoutPolicy int
 

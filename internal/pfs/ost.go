@@ -53,6 +53,19 @@ func (o *ost) access(p *des.Proc, obj string, logical, size int64, write bool) {
 	}
 }
 
+// accessE is the continuation form of access.
+func (o *ost) accessE(ep *des.EventProc, obj string, logical, size int64, write bool, k func()) {
+	phys := o.physOffset(obj, logical, size)
+	o.dev.AccessE(ep, blockdev.Request{Offset: phys, Size: size, Write: write}, func() {
+		if write {
+			o.writeOps++
+		} else {
+			o.readOps++
+		}
+		k()
+	})
+}
+
 // OSTStats is a snapshot of one OST's counters.
 type OSTStats struct {
 	ID           int

@@ -1,0 +1,482 @@
+package workload
+
+import (
+	"fmt"
+
+	"pioeval/internal/des"
+	"pioeval/internal/mpi"
+	"pioeval/internal/pfs"
+)
+
+// This file is the million-rank scale path: a HACC-IO-like file-per-process
+// checkpoint whose ranks are continuation-form event processes
+// (des.EventProc / mpi.EventRank), so a rank costs one small struct and one
+// pooled event slot instead of a goroutine stack. RunScaleCheckpoint drives
+// a single engine; RunShardedCheckpoint partitions ranks and storage into
+// per-I/O-domain engines coupled by a des.ParallelGroup.
+
+// ScaleConfig configures a continuation-form checkpoint run. It is the
+// file-per-process subset of CheckpointConfig (fresh file per rank per
+// step, named <Path>.step<S>.<rank>): with RanksPerNode == 1 and the same
+// knobs, RunScaleCheckpoint and RunCheckpoint produce identical timing —
+// the form-equivalence tests rely on that.
+type ScaleConfig struct {
+	Ranks        int
+	BytesPerRank int64
+	Steps        int
+	ComputeTime  des.Time // per step, before the checkpoint
+	TransferSize int64
+	Path         string
+
+	// RanksPerNode shares one compute-fabric node (and its NIC links)
+	// among that many consecutive ranks, keeping fabric state sublinear in
+	// rank count; 1 gives every rank its own node.
+	RanksPerNode int
+	// NodePrefix names the compute nodes <NodePrefix><i>.
+	NodePrefix string
+
+	// Striping for the checkpoint files (0 selects file-system defaults).
+	// Scale runs typically set StripeCount 1: a million files striped wide
+	// is not how file-per-process checkpoints behave.
+	StripeCount int
+	StripeSize  int64
+}
+
+func (c ScaleConfig) withDefaults() ScaleConfig {
+	if c.Ranks <= 0 {
+		c.Ranks = 4
+	}
+	if c.BytesPerRank <= 0 {
+		c.BytesPerRank = 16 << 20
+	}
+	if c.Steps <= 0 {
+		c.Steps = 4
+	}
+	if c.TransferSize <= 0 {
+		c.TransferSize = 4 << 20
+	}
+	if c.Path == "" {
+		c.Path = "/ckpt"
+	}
+	if c.RanksPerNode <= 0 {
+		c.RanksPerNode = 1
+	}
+	if c.NodePrefix == "" {
+		c.NodePrefix = "node"
+	}
+	return c
+}
+
+// ScaleReport summarizes a scale checkpoint run.
+type ScaleReport struct {
+	Config ScaleConfig
+	// StepIOTime is the application-perceived checkpoint duration of each
+	// step (max over ranks).
+	StepIOTime []des.Time
+	// StepIOErrors counts failed checkpoint operations per step.
+	StepIOErrors []uint64
+	IOErrors     uint64
+	TotalBytes   int64
+	Makespan     des.Time
+	// EffectiveMBps is total checkpoint bytes / total perceived I/O time.
+	EffectiveMBps float64
+	// Events is the number of engine dispatches the run consumed.
+	Events uint64
+}
+
+// scaleState is the per-engine accounting a run's ranks share. In sharded
+// mode each shard has its own (engines run concurrently; no state crosses
+// a shard boundary); the step timing slices are written only by the global
+// lead rank on shard 0.
+type scaleState struct {
+	stepStart  []des.Time
+	stepIOTime []des.Time
+	stepErrs   []uint64
+}
+
+func newScaleState(steps int) *scaleState {
+	return &scaleState{
+		stepStart:  make([]des.Time, steps),
+		stepIOTime: make([]des.Time, steps),
+		stepErrs:   make([]uint64, steps),
+	}
+}
+
+// scaleRank is one checkpoint rank as an explicit state machine: each
+// blocking point hands one of the pre-bound continuation fields to the
+// engine, so steady-state execution allocates nothing per operation.
+type scaleRank struct {
+	r    *mpi.EventRank
+	c    *pfs.Client
+	cfg  *ScaleConfig
+	st   *scaleState
+	gid  int  // global rank id (file naming; == r.ID() unsharded)
+	lead bool // the one rank that records step timing
+
+	// barrier is the step barrier: the local world barrier unsharded, the
+	// local barrier followed by the cross-shard gate in sharded mode.
+	barrier func(k func())
+
+	step int
+	off  int64
+	t0   des.Time
+	h    *pfs.Handle
+
+	// Pre-bound continuations (one-time allocations per rank).
+	enterF  func()
+	openF   func()
+	openedF func(*pfs.Handle, error)
+	wroteF  func(error)
+	syncedF func(error)
+	closedF func(error)
+	doneF   func()
+}
+
+func newScaleRank(r *mpi.EventRank, c *pfs.Client, cfg *ScaleConfig, st *scaleState, gid int, lead bool) *scaleRank {
+	s := &scaleRank{r: r, c: c, cfg: cfg, st: st, gid: gid, lead: lead}
+	s.enterF = s.enter
+	s.openF = s.open
+	s.openedF = s.opened
+	s.wroteF = s.wrote
+	s.syncedF = s.synced
+	s.closedF = s.closed
+	s.doneF = s.stepDone
+	return s
+}
+
+// stepBegin starts one compute+checkpoint step, or finishes the rank: a
+// continuation step that returns without arming terminates the EventProc.
+func (s *scaleRank) stepBegin() {
+	if s.step >= s.cfg.Steps {
+		return
+	}
+	if s.cfg.ComputeTime > 0 {
+		s.r.Compute(s.cfg.ComputeTime, s.enterF)
+		return
+	}
+	s.enter()
+}
+
+func (s *scaleRank) enter() { s.barrier(s.openF) }
+
+func (s *scaleRank) open() {
+	if s.lead {
+		s.st.stepStart[s.step] = s.r.Now()
+	}
+	s.t0 = s.r.Now()
+	path := fmt.Sprintf("%s.step%d.%d", s.cfg.Path, s.step, s.gid)
+	s.c.CreateE(s.r.Proc(), path, s.cfg.StripeCount, s.cfg.StripeSize, s.openedF)
+}
+
+func (s *scaleRank) opened(h *pfs.Handle, err error) {
+	if err != nil {
+		s.st.stepErrs[s.step]++
+		s.exit()
+		return
+	}
+	s.h = h
+	s.off = 0
+	s.write()
+}
+
+func (s *scaleRank) write() {
+	if s.off >= s.cfg.BytesPerRank {
+		s.h.FsyncE(s.r.Proc(), s.syncedF)
+		return
+	}
+	n := s.cfg.TransferSize
+	if s.off+n > s.cfg.BytesPerRank {
+		n = s.cfg.BytesPerRank - s.off
+	}
+	off := s.off
+	s.off += n
+	s.h.WriteE(s.r.Proc(), off, n, s.wroteF)
+}
+
+func (s *scaleRank) wrote(err error) {
+	if err != nil {
+		s.st.stepErrs[s.step]++
+	}
+	s.write()
+}
+
+func (s *scaleRank) synced(err error) {
+	if err != nil {
+		s.st.stepErrs[s.step]++
+	}
+	s.h.CloseE(s.r.Proc(), s.closedF)
+}
+
+func (s *scaleRank) closed(err error) {
+	if err != nil {
+		s.st.stepErrs[s.step]++
+	}
+	s.h = nil
+	s.exit()
+}
+
+func (s *scaleRank) exit() { s.barrier(s.doneF) }
+
+func (s *scaleRank) stepDone() {
+	if s.lead {
+		s.st.stepIOTime[s.step] = s.r.Now() - s.st.stepStart[s.step]
+	}
+	s.step++
+	s.stepBegin()
+}
+
+// RunScaleCheckpoint executes the checkpoint workload in continuation form
+// on a single engine. It panics on simulated deadlock.
+func RunScaleCheckpoint(e *des.Engine, fs *pfs.FS, cfg ScaleConfig) ScaleReport {
+	cfg = cfg.withDefaults()
+	st := newScaleState(cfg.Steps)
+	clients := make([]*pfs.Client, cfg.Ranks)
+	for i := range clients {
+		clients[i] = fs.NewClientAt(fmt.Sprintf("%s%d", cfg.NodePrefix, i/cfg.RanksPerNode))
+	}
+	w := mpi.NewWorld(e, cfg.Ranks, mpi.DefaultOptions())
+	d0 := e.Dispatches()
+	w.SpawnEvent(func(r *mpi.EventRank) {
+		s := newScaleRank(r, clients[r.ID()], &cfg, st, r.ID(), r.ID() == 0)
+		s.barrier = r.Barrier
+		s.stepBegin()
+	})
+	makespan := e.Run(des.MaxTime)
+	if e.LiveProcs() != 0 {
+		panic(fmt.Sprintf("workload: scale checkpoint deadlock with %d live procs", e.LiveProcs()))
+	}
+	rep := scaleReport(cfg, st, makespan)
+	rep.Events = e.Dispatches() - d0
+	return rep
+}
+
+func scaleReport(cfg ScaleConfig, st *scaleState, makespan des.Time) ScaleReport {
+	rep := ScaleReport{
+		Config:       cfg,
+		StepIOTime:   st.stepIOTime,
+		StepIOErrors: st.stepErrs,
+		TotalBytes:   cfg.BytesPerRank * int64(cfg.Ranks) * int64(cfg.Steps),
+		Makespan:     makespan,
+	}
+	var totalIO des.Time
+	for _, d := range rep.StepIOTime {
+		totalIO += d
+	}
+	rep.EffectiveMBps = bwMBps(rep.TotalBytes, totalIO)
+	for _, n := range rep.StepIOErrors {
+		rep.IOErrors += n
+	}
+	return rep
+}
+
+// ShardedConfig configures a sharded (ParallelGroup) checkpoint run: ranks
+// and storage are partitioned into Shards independent I/O domains — each
+// with its own engine, file system slice (NumOSS and NumIONodes divided
+// across shards), and MPI world — coupled only by the step barrier, whose
+// cross-shard leg rides the group's lookahead.
+type ShardedConfig struct {
+	Scale  ScaleConfig
+	Shards int
+	// Workers bounds concurrent shard execution per window (see
+	// des.ParallelGroup.SetWorkers): 1 is sequential, 0 means one goroutine
+	// per shard. The choice never affects results.
+	Workers int
+	// Lookahead is the cross-shard link latency; cross-shard barrier
+	// messages pay it each way. Defaults to 1.5us (an InfiniBand-like
+	// inter-domain hop).
+	Lookahead des.Time
+	// FS is the per-cluster file-system configuration before sharding.
+	FS pfs.Config
+	// Seed seeds each shard's engine (shard i gets Seed+i).
+	Seed int64
+	// AttachShard, when non-nil, is called for every shard before ranks
+	// spawn — the hook validate invariant checkers attach through.
+	AttachShard func(shard int, e *des.Engine, fs *pfs.FS)
+}
+
+// ShardedReport summarizes a sharded checkpoint run.
+type ShardedReport struct {
+	Scale         ScaleConfig
+	Shards        int
+	Workers       int
+	Lookahead     des.Time
+	RanksPerShard []int
+	StepIOTime    []des.Time
+	StepIOErrors  []uint64
+	IOErrors      uint64
+	TotalBytes    int64
+	Makespan      des.Time
+	EffectiveMBps float64
+	Events        uint64
+}
+
+// shardGate is the cross-shard half of the step barrier. After a shard's
+// local barrier completes, its local rank 0 announces arrival to the
+// coordinator (an event on shard 0) and every local rank waits on the
+// shard's release signal; when all shards have arrived the coordinator
+// broadcasts the release. Announce and release each cross partitions with
+// delay == lookahead, honoring the conservative contract, so one gate
+// crossing costs two lookaheads. Coordinator state is touched only by
+// shard-0 events, never concurrently.
+type shardGate struct {
+	pg      *des.ParallelGroup
+	shard   int
+	la      des.Time
+	release *des.Signal
+	gen     int
+	coord   *gateCoord
+}
+
+type gateCoord struct {
+	pg    *des.ParallelGroup
+	la    des.Time
+	gates []*shardGate
+	count int
+}
+
+// arrive runs as a shard-0 event, once per shard per gate crossing.
+func (gc *gateCoord) arrive() {
+	gc.count++
+	if gc.count < len(gc.gates) {
+		return
+	}
+	gc.count = 0
+	for s, g := range gc.gates {
+		g := g
+		gc.pg.Send(0, s, gc.la, func() {
+			g.gen++
+			g.release.Fire()
+		})
+	}
+}
+
+// wait blocks ep until every shard has arrived at this gate generation.
+// Exactly one rank per shard must pass leader == true.
+func (g *shardGate) wait(ep *des.EventProc, leader bool, k func()) {
+	gen := g.gen
+	if leader {
+		g.pg.Send(g.shard, 0, g.la, g.coord.arrive)
+	}
+	var await func()
+	await = func() {
+		if g.gen != gen {
+			k()
+			return
+		}
+		g.release.WaitE(ep, await)
+	}
+	await()
+}
+
+// RunShardedCheckpoint executes the checkpoint workload across sharded
+// engines under a des.ParallelGroup. Ranks split as evenly as possible
+// across shards; shard i's file system gets NumOSS/Shards object servers
+// and NumIONodes/Shards forwarding nodes (minimum one OSS each). Any
+// Workers value produces identical output; the -race shard smoke and the
+// determinism tests rely on that.
+func RunShardedCheckpoint(cfg ShardedConfig) ShardedReport {
+	sc := cfg.Scale.withDefaults()
+	shards := cfg.Shards
+	if shards <= 0 {
+		shards = 1
+	}
+	if shards > sc.Ranks {
+		shards = sc.Ranks
+	}
+	la := cfg.Lookahead
+	if la <= 0 {
+		la = 1500 * des.Nanosecond
+	}
+
+	fscfg := cfg.FS
+	if fscfg.NumOSS == 0 {
+		fscfg = pfs.DefaultConfig()
+	}
+	if per := fscfg.NumOSS / shards; per >= 1 {
+		fscfg.NumOSS = per
+	}
+	if fscfg.NumIONodes > 0 {
+		fscfg.NumIONodes /= shards
+	}
+
+	engines := make([]*des.Engine, shards)
+	for i := range engines {
+		engines[i] = des.NewEngine(cfg.Seed + int64(i))
+	}
+	pg := des.NewParallelGroup(la, engines...)
+	pg.SetWorkers(cfg.Workers)
+
+	gates := make([]*shardGate, shards)
+	coord := &gateCoord{pg: pg, la: la, gates: gates}
+	for i := range gates {
+		gates[i] = &shardGate{pg: pg, shard: i, la: la, release: des.NewSignal(engines[i]), coord: coord}
+	}
+
+	base, extra := sc.Ranks/shards, sc.Ranks%shards
+	states := make([]*scaleState, shards)
+	ranksPerShard := make([]int, shards)
+	gid := 0
+	for sh := 0; sh < shards; sh++ {
+		n := base
+		if sh < extra {
+			n++
+		}
+		ranksPerShard[sh] = n
+		e := engines[sh]
+		fs := pfs.New(e, fscfg)
+		if cfg.AttachShard != nil {
+			cfg.AttachShard(sh, e, fs)
+		}
+		st := newScaleState(sc.Steps)
+		states[sh] = st
+		clients := make([]*pfs.Client, n)
+		for i := range clients {
+			clients[i] = fs.NewClientAt(fmt.Sprintf("%s%d", sc.NodePrefix, i/sc.RanksPerNode))
+		}
+		w := mpi.NewWorld(e, n, mpi.DefaultOptions())
+		sh, gidBase, gate := sh, gid, gates[sh]
+		w.SpawnEvent(func(r *mpi.EventRank) {
+			s := newScaleRank(r, clients[r.ID()], &sc, st, gidBase+r.ID(), sh == 0 && r.ID() == 0)
+			s.barrier = func(k func()) {
+				r.Barrier(func() {
+					gate.wait(r.Proc(), r.ID() == 0, k)
+				})
+			}
+			s.stepBegin()
+		})
+		gid += n
+	}
+
+	makespan := pg.Run(des.MaxTime)
+	for sh, e := range engines {
+		if e.LiveProcs() != 0 {
+			panic(fmt.Sprintf("workload: sharded checkpoint deadlock: shard %d has %d live procs", sh, e.LiveProcs()))
+		}
+	}
+
+	rep := ShardedReport{
+		Scale: sc, Shards: shards, Workers: cfg.Workers, Lookahead: la,
+		RanksPerShard: ranksPerShard,
+		StepIOTime:    states[0].stepIOTime,
+		StepIOErrors:  make([]uint64, sc.Steps),
+		TotalBytes:    sc.BytesPerRank * int64(sc.Ranks) * int64(sc.Steps),
+		Makespan:      makespan,
+	}
+	for _, st := range states {
+		for i, n := range st.stepErrs {
+			rep.StepIOErrors[i] += n
+		}
+	}
+	for _, n := range rep.StepIOErrors {
+		rep.IOErrors += n
+	}
+	var totalIO des.Time
+	for _, d := range rep.StepIOTime {
+		totalIO += d
+	}
+	rep.EffectiveMBps = bwMBps(rep.TotalBytes, totalIO)
+	for _, e := range engines {
+		rep.Events += e.Dispatches()
+	}
+	return rep
+}
