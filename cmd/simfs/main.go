@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"log"
 	"os"
 	"runtime"
@@ -65,7 +66,8 @@ func main() {
 	tier := fs.String("tier", "direct", "storage tier for workload ranks: direct, bb (burst-buffer write-back), or nodelocal (per-node scratch)")
 	scaleRanks := fs.Int("ranks", 0, "run the built-in scale checkpoint with this many continuation-form ranks instead of a workload script")
 	shards := fs.Int("shards", 1, "partition the scale run into this many engines coupled by a ParallelGroup")
-	shardWorkers := fs.Int("shard-workers", 0, "concurrent shard executors per window (0 = one per shard, 1 = sequential); never affects results")
+	shardWorkers := fs.Int("shard-workers", 0, "persistent shard workers (0 = all host cores via runtime.NumCPU, 1 = sequential); never affects results")
+	workersSweep := fs.Int("workers-sweep", 0, "run the sharded scale config at worker counts 1..N (powers of two), print a speedup/efficiency table, and verify the output is byte-identical across the sweep (0 = off)")
 	steps := fs.Int("steps", 1, "checkpoint steps for the scale run")
 	bytesPerRank := fs.Int64("bytes-per-rank", 1<<20, "checkpoint bytes per rank per step for the scale run")
 	xfer := fs.Int64("xfer", 1<<20, "write chunk size for the scale run")
@@ -117,6 +119,13 @@ func main() {
 			ranks: *scaleRanks, shards: *shards, workers: *shardWorkers,
 			steps: *steps, bytesPerRank: *bytesPerRank, xfer: *xfer,
 			ranksPerNode: *ranksPerNode, validate: *doValidate,
+			workersSweep: *workersSweep,
+		}
+		if sc.workersSweep > 0 {
+			if !runWorkersSweep(cluster, sc) {
+				os.Exit(1)
+			}
+			return
 		}
 		if !runScale(cluster, sc) {
 			os.Exit(1)
@@ -282,6 +291,114 @@ type scaleOpts struct {
 	bytesPerRank, xfer            int64
 	ranksPerNode                  int
 	validate                      bool
+	workersSweep                  int
+}
+
+// scaleConfig translates the CLI knobs into the workload config.
+func (o scaleOpts) scaleConfig() workload.ScaleConfig {
+	return workload.ScaleConfig{
+		Ranks:        o.ranks,
+		BytesPerRank: o.bytesPerRank,
+		Steps:        o.steps,
+		TransferSize: o.xfer,
+		RanksPerNode: o.ranksPerNode,
+		// A million per-process files striped wide is not how FPP
+		// checkpoints behave: one stripe per file.
+		StripeCount: 1,
+	}
+}
+
+// reportHash is a stable digest of every simulated quantity in a sharded
+// report — everything except the host-side Workers knob — used to assert
+// byte-identical output across a worker sweep.
+func reportHash(rep workload.ShardedReport) uint64 {
+	rep.Workers = 0
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%+v", rep)
+	return h.Sum64()
+}
+
+// runWorkersSweep runs the identical sharded scale config at worker counts
+// 1, 2, 4, ... up to o.workersSweep (always including the max), printing a
+// wall-clock speedup/parallel-efficiency table and verifying that every
+// worker count produces the same simulated output. Returns false when the
+// outputs diverge (a determinism bug) or an armed invariant fired.
+func runWorkersSweep(cluster cli.ClusterFlags, o scaleOpts) bool {
+	if o.shards <= 1 {
+		log.Fatal("-workers-sweep needs -shards > 1")
+	}
+	var counts []int
+	for w := 1; w < o.workersSweep; w *= 2 {
+		counts = append(counts, w)
+	}
+	counts = append(counts, o.workersSweep)
+
+	fmt.Printf("workers sweep: %d ranks x %d shards, %d step(s), %s/rank, %d host cores\n",
+		o.ranks, o.shards, o.steps, cli.FormatSize(o.bytesPerRank), runtime.NumCPU())
+	fmt.Printf("  %-8s %-12s %-9s %-11s %-8s %s\n",
+		"workers", "wall", "speedup", "efficiency", "windows", "output-hash")
+
+	ok := true
+	var baseWall time.Duration
+	var baseHash uint64
+	for i, w := range counts {
+		oo := o
+		oo.workers = w
+		rep, invOK, wall := runShardedOnce(cluster, oo)
+		hash := reportHash(rep)
+		if !invOK {
+			ok = false
+		}
+		if i == 0 {
+			baseWall, baseHash = wall, hash
+		}
+		speedup := float64(baseWall) / float64(wall)
+		fmt.Printf("  %-8d %-12v %-9s %-11s %-8d %016x\n",
+			w, wall.Round(time.Millisecond),
+			fmt.Sprintf("%.2fx", speedup),
+			fmt.Sprintf("%.1f%%", 100*speedup/float64(w)),
+			rep.Windows, hash)
+		if hash != baseHash {
+			fmt.Printf("sweep: OUTPUT MISMATCH at workers=%d (hash %016x, want %016x)\n", w, hash, baseHash)
+			ok = false
+		}
+	}
+	if ok {
+		fmt.Printf("sweep: output byte-identical across workers %v\n", counts)
+	}
+	return ok
+}
+
+// runShardedOnce executes one sharded scale run and reports the workload
+// result, whether armed invariants held, and the host wall-clock time.
+func runShardedOnce(cluster cli.ClusterFlags, o scaleOpts) (workload.ShardedReport, bool, time.Duration) {
+	cfg, err := cluster.Config()
+	if err != nil {
+		log.Fatal(err)
+	}
+	var invs []*validate.Invariants
+	shcfg := workload.ShardedConfig{
+		Scale: o.scaleConfig(), Shards: o.shards, Workers: o.workers,
+		FS: cfg, Seed: cluster.Seed,
+	}
+	if o.validate {
+		shcfg.AttachShard = func(shard int, e *des.Engine, sim *pfs.FS) {
+			col := trace.NewCollector()
+			col.SetLimit(1)
+			invs = append(invs, validate.Attach(e, sim, col))
+		}
+	}
+	wall0 := time.Now()
+	rep := workload.RunShardedCheckpoint(shcfg)
+	wall := time.Since(wall0)
+	ok := true
+	for _, inv := range invs {
+		for _, v := range inv.Finish() {
+			fmt.Printf("validation: VIOLATION %s\n", v)
+			ok = false
+		}
+	}
+	return rep, ok, wall
 }
 
 // runScale executes the built-in scale checkpoint: a file-per-process
@@ -295,16 +412,7 @@ func runScale(cluster cli.ClusterFlags, o scaleOpts) bool {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sc := workload.ScaleConfig{
-		Ranks:        o.ranks,
-		BytesPerRank: o.bytesPerRank,
-		Steps:        o.steps,
-		TransferSize: o.xfer,
-		RanksPerNode: o.ranksPerNode,
-		// A million per-process files striped wide is not how FPP
-		// checkpoints behave: one stripe per file.
-		StripeCount: 1,
-	}
+	sc := o.scaleConfig()
 
 	runtime.GC()
 	var m0 runtime.MemStats
@@ -351,8 +459,8 @@ func runScale(cluster cli.ClusterFlags, o scaleOpts) bool {
 		rep := workload.RunShardedCheckpoint(shcfg)
 		makespan, totalBytes, effMBps, events, ioErrors =
 			rep.Makespan, rep.TotalBytes, rep.EffectiveMBps, rep.Events, rep.IOErrors
-		fmt.Printf("sharded: %d shards (workers %d), ranks/shard %v, lookahead %v\n",
-			rep.Shards, rep.Workers, rep.RanksPerShard, rep.Lookahead)
+		fmt.Printf("sharded: %d shards (workers %d), ranks/shard %v, lookahead %v, %d windows\n",
+			rep.Shards, rep.Workers, rep.RanksPerShard, rep.Lookahead, rep.Windows)
 	}
 
 	wall := time.Since(wall0)

@@ -2,40 +2,105 @@ package des
 
 import (
 	"fmt"
-	"sort"
-	"sync"
+	"runtime"
+	"slices"
 	"sync/atomic"
 )
 
-// ParallelGroup executes several independent engines (logical partitions)
-// concurrently under conservative synchronization: time advances in
-// windows of the group's lookahead, and cross-partition interactions must
-// carry at least one lookahead of latency — the classic conservative
-// parallel-discrete-event-simulation contract (CMB-style, with barrier
-// windows instead of null messages). Within a window every partition runs
-// in its own goroutine; results are bit-identical to a sequential
-// execution because no cross event can land inside the window that emits
-// it.
+// ParallelGroup executes several independent engines (logical partitions,
+// "shards") concurrently under conservative synchronization — the classic
+// CMB-style parallel-discrete-event contract: cross-partition interactions
+// must carry at least one link lookahead of latency, so no cross event can
+// land inside the window that emits it. Results are bit-identical to a
+// sequential execution at any worker count.
+//
+// The coupling layer is built for throughput:
+//
+//   - Persistent workers, epoch barrier. Shards are pinned to long-lived
+//     workers for the duration of a Run; each window ("epoch") costs one
+//     channel wake per worker and one atomic countdown, not a goroutine
+//     spawn and a sync.WaitGroup.
+//   - Sharded mailboxes. Send appends to a per-(sender, destination) lane
+//     owned by the sender's worker — no global mutex, no allocation in
+//     steady state. Lanes are flushed between epochs and merged
+//     per-destination in deterministic (at, from, seq) order on reusable
+//     scratch buffers.
+//   - Per-link lookahead. SetLookahead(from, to, la) gives each directed
+//     link its own lookahead (SetNoLink removes a link entirely), and each
+//     shard advances to its own safe time — min over in-links of the
+//     source's next-event lower bound plus the link lookahead — instead of
+//     a single global earliest+lookahead window. Sparse topologies get
+//     fewer, larger windows, and shards unreachable from the rest of the
+//     group run free of the barrier.
+//   - Cached next-event times. The per-epoch scan reads cached bounds
+//     refreshed only for shards that executed or received messages; idle
+//     engines are not re-queried every window.
 type ParallelGroup struct {
-	engines   []*Engine
-	lookahead Time
-	workers   int
+	engines []*Engine
+	n       int
+	defLA   Time
+	workers int
 
-	mu      sync.Mutex
-	inbox   []crossEvent
-	nextSeq uint64
+	// la is the n×n per-link lookahead matrix in row-major [from*n+to]
+	// order; noLink marks an absent link. inLinks caches, per destination,
+	// the links that constrain its safe time (rebuilt on topology change).
+	la      []Time
+	inLinks [][]inLink
+	linksOK bool
+
+	// lanes[from*n+to] buffers cross events; a lane is written only by the
+	// worker executing shard `from` (or by the caller between Runs) and
+	// drained only by the coordinator between epochs, so no lock is needed.
+	// laneSeq[from] orders a sender's messages; per-sender sequences make
+	// the (at, from, seq) merge key deterministic at any worker count.
+	lanes   [][]crossEvent
+	laneSeq []uint64
+
+	// pend[to] holds flushed-but-undeliverable cross events per
+	// destination; pendMin[to] caches the earliest pending timestamp.
+	// scratch is the reusable per-delivery merge buffer.
+	pend    [][]crossEvent
+	pendMin []Time
+	scratch []crossEvent
+
+	// locNext caches each engine's next-event time (MaxTime when idle);
+	// next and winEnd are the per-epoch work bound and window end.
+	locNext []Time
+	next    []Time
+	winEnd  []Time
+
+	windows uint64
+
+	// Worker pool, live only inside Run: startCh wakes each worker for one
+	// epoch, remaining counts unfinished participants, doneCh signals the
+	// coordinator, panics carries a recovered per-slot panic out of the
+	// pool so Run can rethrow it after the barrier.
+	startCh   []chan struct{}
+	doneCh    chan struct{}
+	remaining atomic.Int32
+	panics    []any
 }
+
+// inLink is one directed link constraining a destination's safe time.
+type inLink struct {
+	src int32
+	la  Time
+}
+
+// noLink marks an absent link in the lookahead matrix.
+const noLink Time = MaxTime
 
 // crossEvent is a pending cross-partition event.
 type crossEvent struct {
 	at   Time
-	to   int
-	from int
+	from int32
 	seq  uint64
 	fn   func()
 }
 
-// NewParallelGroup couples engines with the given lookahead (> 0).
+// NewParallelGroup couples engines with the given default lookahead (> 0)
+// on every directed link, including self-links. Use SetLookahead /
+// SetNoLink to refine the topology.
 func NewParallelGroup(lookahead Time, engines ...*Engine) *ParallelGroup {
 	if lookahead <= 0 {
 		panic("des: parallel lookahead must be positive")
@@ -43,127 +108,367 @@ func NewParallelGroup(lookahead Time, engines ...*Engine) *ParallelGroup {
 	if len(engines) == 0 {
 		panic("des: parallel group needs at least one engine")
 	}
-	return &ParallelGroup{engines: engines, lookahead: lookahead}
+	n := len(engines)
+	g := &ParallelGroup{
+		engines: engines,
+		n:       n,
+		defLA:   lookahead,
+		la:      make([]Time, n*n),
+		lanes:   make([][]crossEvent, n*n),
+		laneSeq: make([]uint64, n),
+		pend:    make([][]crossEvent, n),
+		pendMin: make([]Time, n),
+		locNext: make([]Time, n),
+		next:    make([]Time, n),
+		winEnd:  make([]Time, n),
+	}
+	for i := range g.la {
+		g.la[i] = lookahead
+	}
+	for i := range g.pendMin {
+		g.pendMin[i] = MaxTime
+	}
+	return g
 }
 
 // Engine returns partition i's engine.
 func (g *ParallelGroup) Engine(i int) *Engine { return g.engines[i] }
 
-// Lookahead returns the group lookahead.
-func (g *ParallelGroup) Lookahead() Time { return g.lookahead }
+// Lookahead returns the group's default link lookahead.
+func (g *ParallelGroup) Lookahead() Time { return g.defLA }
 
-// SetWorkers bounds how many partitions execute concurrently within a
-// window: n == 1 runs partitions sequentially in index order, n <= 0 or
-// n >= len(engines) uses one goroutine per partition (the default). The
-// choice never affects results — windows are barrier-synchronized and
-// partitions within a window are independent — so any worker count must
-// produce identical output; tests and the -race shard smoke rely on that.
+// Windows reports how many lookahead windows (epochs) Run has executed;
+// scale tooling uses it to show how coarsely the group synchronizes.
+func (g *ParallelGroup) Windows() uint64 { return g.windows }
+
+// SetLookahead sets the lookahead of the directed link from → to (la > 0).
+// A larger per-link lookahead widens every window the destination can be
+// granted; Send on the link requires delay >= la.
+func (g *ParallelGroup) SetLookahead(from, to int, la Time) {
+	if la <= 0 {
+		panic("des: per-link lookahead must be positive")
+	}
+	g.checkPair(from, to)
+	g.la[from*g.n+to] = la
+	g.linksOK = false
+}
+
+// SetNoLink declares that partition `from` never sends to partition `to`
+// (including from == to, which drops the default self-link). The link
+// stops constraining the destination's safe time — a shard with no
+// in-links runs ahead without any barrier — and Send on it panics.
+func (g *ParallelGroup) SetNoLink(from, to int) {
+	g.checkPair(from, to)
+	g.la[from*g.n+to] = noLink
+	g.linksOK = false
+}
+
+func (g *ParallelGroup) checkPair(from, to int) {
+	if to < 0 || to >= g.n || from < 0 || from >= g.n {
+		panic("des: cross-partition index out of range")
+	}
+}
+
+// SetWorkers bounds how many OS workers execute shards within an epoch:
+// 1 runs shards sequentially in index order on the caller, n <= 0 (the
+// default) uses min(len(engines), runtime.NumCPU()), and explicit values
+// are capped at the shard count. Shards are pinned round-robin to workers
+// for a whole Run. The choice never affects results — epochs are
+// barrier-synchronized and shards within an epoch are independent — so any
+// worker count must produce identical output; tests and the -race sweep
+// smoke rely on that.
 func (g *ParallelGroup) SetWorkers(n int) { g.workers = n }
+
+// Workers reports the worker count a Run would use right now: the
+// SetWorkers value resolved against the host core count and the shard
+// count. Reports quote this rather than the raw configuration knob.
+func (g *ParallelGroup) Workers() int { return g.effectiveWorkers() }
+
+func (g *ParallelGroup) effectiveWorkers() int {
+	w := g.workers
+	if w <= 0 {
+		w = runtime.NumCPU()
+	}
+	if w > g.n {
+		w = g.n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
 
 // Send schedules fn to run on partition `to` after delay `delay` measured
 // from partition `from`'s current time. The delay must be at least the
-// group lookahead — that is what makes conservative windowed execution
-// correct. Safe to call from inside partition event handlers and
-// processes.
+// link's lookahead — that is what makes conservative windowed execution
+// correct — and the link must exist. Call it from code executing on
+// partition `from` (event handlers and processes of that engine, or any
+// code while the group is not running); the lane it appends to is owned by
+// the sender's worker, which is what makes the path lock- and
+// allocation-free in steady state.
 func (g *ParallelGroup) Send(from, to int, delay Time, fn func()) {
-	if delay < g.lookahead {
-		panic(fmt.Sprintf("des: cross-partition delay %v below lookahead %v", delay, g.lookahead))
+	g.checkPair(from, to)
+	la := g.la[from*g.n+to]
+	if la == noLink {
+		panic(fmt.Sprintf("des: cross-partition send %d->%d on a link declared absent (SetNoLink)", from, to))
 	}
-	if to < 0 || to >= len(g.engines) || from < 0 || from >= len(g.engines) {
-		panic("des: cross-partition index out of range")
+	if delay < la {
+		panic(fmt.Sprintf("des: cross-partition delay %v below link lookahead %v", delay, la))
 	}
-	at := g.engines[from].Now() + delay
-	g.mu.Lock()
-	g.inbox = append(g.inbox, crossEvent{at: at, to: to, from: from, seq: g.nextSeq, fn: fn})
-	g.nextSeq++
-	g.mu.Unlock()
+	lane := &g.lanes[from*g.n+to]
+	*lane = append(*lane, crossEvent{
+		at:   g.engines[from].Now() + delay,
+		from: int32(from),
+		seq:  g.laneSeq[from],
+		fn:   fn,
+	})
+	g.laneSeq[from]++
+}
+
+// rebuildLinks recomputes the per-destination in-link lists from the
+// lookahead matrix.
+func (g *ParallelGroup) rebuildLinks() {
+	if g.linksOK {
+		return
+	}
+	if g.inLinks == nil {
+		g.inLinks = make([][]inLink, g.n)
+	}
+	for to := 0; to < g.n; to++ {
+		links := g.inLinks[to][:0]
+		for from := 0; from < g.n; from++ {
+			if la := g.la[from*g.n+to]; la != noLink {
+				links = append(links, inLink{src: int32(from), la: la})
+			}
+		}
+		g.inLinks[to] = links
+	}
+	g.linksOK = true
+}
+
+// flushLanes moves every buffered cross event into its destination's
+// pending list, maintaining pendMin. Runs on the coordinator between
+// epochs, when all lanes are quiescent.
+func (g *ParallelGroup) flushLanes() {
+	for i := range g.lanes {
+		lane := g.lanes[i]
+		if len(lane) == 0 {
+			continue
+		}
+		to := i % g.n
+		g.pend[to] = append(g.pend[to], lane...)
+		for k := range lane {
+			if lane[k].at < g.pendMin[to] {
+				g.pendMin[to] = lane[k].at
+			}
+		}
+		g.lanes[i] = lane[:0]
+	}
+}
+
+// deliver schedules destination d's due cross events (at <= winEnd[d]) in
+// deterministic (at, from, seq) order, compacting the pending list in
+// place and reusing the group scratch buffer: zero steady-state
+// allocations.
+func (g *ParallelGroup) deliver(d int) {
+	pend := g.pend[d]
+	scratch := g.scratch[:0]
+	keep := pend[:0]
+	we := g.winEnd[d]
+	newMin := MaxTime
+	for i := range pend {
+		if pend[i].at <= we {
+			scratch = append(scratch, pend[i])
+		} else {
+			if pend[i].at < newMin {
+				newMin = pend[i].at
+			}
+			keep = append(keep, pend[i])
+		}
+	}
+	g.pend[d] = keep
+	g.pendMin[d] = newMin
+	slices.SortFunc(scratch, func(a, b crossEvent) int {
+		switch {
+		case a.at != b.at:
+			if a.at < b.at {
+				return -1
+			}
+			return 1
+		case a.from != b.from:
+			return int(a.from) - int(b.from)
+		case a.seq < b.seq:
+			return -1
+		default:
+			return 1
+		}
+	})
+	e := g.engines[d]
+	for i := range scratch {
+		e.schedule(scratch[i].at, scratch[i].fn, nil)
+		scratch[i].fn = nil
+	}
+	if len(scratch) > 0 && scratch[0].at < g.locNext[d] {
+		g.locNext[d] = scratch[0].at
+	}
+	g.scratch = scratch[:0]
+}
+
+// satAdd is a+b saturating at MaxTime (both operands non-negative).
+func satAdd(a, b Time) Time {
+	if s := a + b; s >= a {
+		return s
+	}
+	return MaxTime
+}
+
+// cacheNext refreshes shard s's next-event cache from its engine.
+func (g *ParallelGroup) cacheNext(s int) {
+	if at, ok := g.engines[s].NextEventTime(); ok {
+		g.locNext[s] = at
+	} else {
+		g.locNext[s] = MaxTime
+	}
+}
+
+// runShard executes one shard's window: run to the window end, refresh the
+// next-event cache, and keep the clock in step (never advancing to an
+// unbounded window end, so a free-running shard's clock rests on its last
+// event).
+func (g *ParallelGroup) runShard(s int) {
+	we := g.winEnd[s]
+	e := g.engines[s]
+	if g.locNext[s] <= we {
+		e.Run(we)
+		g.cacheNext(s)
+	}
+	if we < MaxTime {
+		e.AdvanceTo(we)
+	}
+}
+
+// runSpan executes every shard pinned to the given worker slot, capturing
+// a panic so the epoch barrier still completes; Run rethrows it.
+func (g *ParallelGroup) runSpan(slot, stride int) {
+	defer func() {
+		if r := recover(); r != nil {
+			g.panics[slot] = r
+		}
+	}()
+	for s := slot; s < g.n; s += stride {
+		g.runShard(s)
+	}
+}
+
+// workerLoop is one persistent pool worker: each receive is one epoch.
+func (g *ParallelGroup) workerLoop(slot, stride int) {
+	for range g.startCh[slot] {
+		g.runSpan(slot, stride)
+		if g.remaining.Add(-1) == 0 {
+			g.doneCh <- struct{}{}
+		}
+	}
+}
+
+// startPool launches w-1 persistent workers (the coordinator itself takes
+// the last slot) and stopPool shuts them down; both bracket one Run.
+func (g *ParallelGroup) startPool(w int) {
+	g.startCh = make([]chan struct{}, w-1)
+	g.doneCh = make(chan struct{}, 1)
+	g.panics = make([]any, w)
+	for slot := range g.startCh {
+		g.startCh[slot] = make(chan struct{}, 1)
+		go g.workerLoop(slot, w)
+	}
+}
+
+func (g *ParallelGroup) stopPool() {
+	for _, ch := range g.startCh {
+		close(ch)
+	}
+	g.startCh = nil
+	g.doneCh = nil
+	g.panics = nil
 }
 
 // Run executes all partitions until no events remain anywhere or the
-// horizon is reached, and returns the latest partition clock.
+// horizon is reached, and returns the latest partition clock. Each
+// iteration is one epoch: flush send lanes, bound every shard's safe time
+// from its in-links, deliver due cross events, then execute all shards —
+// pinned to persistent workers — up to their window ends.
 func (g *ParallelGroup) Run(horizon Time) Time {
+	n := g.n
+	g.rebuildLinks()
+	for s := 0; s < n; s++ {
+		g.cacheNext(s)
+	}
+	w := g.effectiveWorkers()
+	if w > 1 {
+		g.startPool(w)
+		defer g.stopPool()
+	}
 	for {
-		// Find the earliest work item anywhere.
-		earliest := MaxTime
-		for _, e := range g.engines {
-			if at, ok := e.NextEventTime(); ok && at < earliest {
-				earliest = at
+		g.flushLanes()
+		minNext := MaxTime
+		for s := 0; s < n; s++ {
+			nx := g.locNext[s]
+			if g.pendMin[s] < nx {
+				nx = g.pendMin[s]
+			}
+			g.next[s] = nx
+			if nx < minNext {
+				minNext = nx
 			}
 		}
-		g.mu.Lock()
-		for _, ce := range g.inbox {
-			if ce.at < earliest {
-				earliest = ce.at
-			}
-		}
-		g.mu.Unlock()
-		if earliest == MaxTime || earliest > horizon {
+		if minNext == MaxTime || minNext > horizon {
 			break
 		}
-		windowEnd := earliest + g.lookahead
-		if windowEnd > horizon {
-			windowEnd = horizon
-		}
 
-		// Deliver cross events that fall inside this window. Sorting by
-		// (at, from, seq) keeps delivery deterministic regardless of
-		// goroutine interleaving in earlier windows.
-		g.mu.Lock()
-		var deliver []crossEvent
-		keep := g.inbox[:0]
-		for _, ce := range g.inbox {
-			if ce.at <= windowEnd {
-				deliver = append(deliver, ce)
-			} else {
-				keep = append(keep, ce)
+		// Safe time per destination: min over in-links of the source's
+		// next-work bound plus the link lookahead. Any message a source can
+		// still emit on a link lands at or beyond that bound, so the
+		// destination may execute everything up to it. A destination with
+		// no (live) in-links is unconstrained and runs to the horizon.
+		for d := 0; d < n; d++ {
+			safe := MaxTime
+			for _, l := range g.inLinks[d] {
+				if src := g.next[l.src]; src != MaxTime {
+					if b := satAdd(src, l.la); b < safe {
+						safe = b
+					}
+				}
+			}
+			if safe > horizon {
+				safe = horizon
+			}
+			g.winEnd[d] = safe
+		}
+		for d := 0; d < n; d++ {
+			if g.pendMin[d] <= g.winEnd[d] {
+				g.deliver(d)
 			}
 		}
-		g.inbox = keep
-		g.mu.Unlock()
-		sort.Slice(deliver, func(i, j int) bool {
-			if deliver[i].at != deliver[j].at {
-				return deliver[i].at < deliver[j].at
-			}
-			if deliver[i].from != deliver[j].from {
-				return deliver[i].from < deliver[j].from
-			}
-			return deliver[i].seq < deliver[j].seq
-		})
-		for _, ce := range deliver {
-			g.engines[ce.to].schedule(ce.at, ce.fn, nil)
-		}
+		g.windows++
 
-		// Execute the window with up to `workers` partitions in flight
-		// (one goroutine per partition by default, strictly sequential
-		// when workers == 1).
-		w := g.workers
-		if w <= 0 || w > len(g.engines) {
-			w = len(g.engines)
-		}
 		if w == 1 {
-			for _, e := range g.engines {
-				e.Run(windowEnd)
-				e.AdvanceTo(windowEnd)
+			for s := 0; s < n; s++ {
+				g.runShard(s)
 			}
 		} else {
-			var next atomic.Int64
-			var wg sync.WaitGroup
-			for i := 0; i < w; i++ {
-				wg.Add(1)
-				go func() {
-					defer wg.Done()
-					for {
-						i := int(next.Add(1)) - 1
-						if i >= len(g.engines) {
-							return
-						}
-						e := g.engines[i]
-						e.Run(windowEnd)
-						e.AdvanceTo(windowEnd)
-					}
-				}()
+			g.remaining.Store(int32(w))
+			for _, ch := range g.startCh {
+				ch <- struct{}{}
 			}
-			wg.Wait()
+			g.runSpan(w-1, w)
+			if g.remaining.Add(-1) != 0 {
+				<-g.doneCh
+			}
+			for slot, p := range g.panics {
+				if p != nil {
+					g.panics[slot] = nil
+					panic(p)
+				}
+			}
 		}
 	}
 	var last Time

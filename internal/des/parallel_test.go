@@ -1,8 +1,11 @@
 package des
 
 import (
+	"reflect"
 	"sync"
 	"testing"
+
+	"pioeval/internal/leakcheck"
 )
 
 func TestParallelGroupValidation(t *testing.T) {
@@ -182,6 +185,264 @@ func TestParallelGroupHorizon(t *testing.T) {
 	if fired != 2 {
 		t.Fatalf("fired = %d after full run", fired)
 	}
+}
+
+// TestParallelGroupCrossAtWindowEnd pins down the boundary case: a cross
+// event stamped exactly at the destination's window end is delivered in
+// the next epoch and runs after same-time local events, identically at any
+// worker count.
+func TestParallelGroupCrossAtWindowEnd(t *testing.T) {
+	run := func(workers int) []string {
+		e0, e1 := NewEngine(1), NewEngine(2)
+		g := NewParallelGroup(100, e0, e1)
+		g.SetWorkers(workers)
+		var log []string
+		e1.After(100, func() {
+			if e1.Now() != 100 {
+				t.Errorf("local event at %v, want 100", e1.Now())
+			}
+			log = append(log, "local@100")
+		})
+		e0.After(0, func() {
+			// at = 0 + 100 = exactly shard 1's first window end.
+			g.Send(0, 1, 100, func() {
+				if e1.Now() != 100 {
+					t.Errorf("cross event at %v, want 100", e1.Now())
+				}
+				log = append(log, "cross@100")
+			})
+		})
+		g.Run(MaxTime)
+		return log
+	}
+	want := []string{"local@100", "cross@100"}
+	for _, w := range []int{1, 2} {
+		if got := run(w); !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: log = %v, want %v", w, got, want)
+		}
+	}
+}
+
+// TestParallelGroupHorizonMidWindow clips the horizon inside a lookahead
+// window: events up to the horizon fire, later ones wait for the next Run.
+func TestParallelGroupHorizonMidWindow(t *testing.T) {
+	e0, e1 := NewEngine(1), NewEngine(2)
+	g := NewParallelGroup(100, e0, e1)
+	var fired []Time
+	e0.After(50, func() { fired = append(fired, e0.Now()) })
+	e1.After(90, func() { fired = append(fired, e1.Now()) })
+	// The natural window would be [50, 150]; the horizon cuts it at 80.
+	g.Run(80)
+	if !reflect.DeepEqual(fired, []Time{50}) {
+		t.Fatalf("fired = %v before horizon 80", fired)
+	}
+	g.Run(MaxTime)
+	if !reflect.DeepEqual(fired, []Time{50, 90}) {
+		t.Fatalf("fired = %v after full run", fired)
+	}
+}
+
+// TestParallelGroupSingleEngine exercises a one-shard group, including
+// self-sends through the mailbox path.
+func TestParallelGroupSingleEngine(t *testing.T) {
+	e := NewEngine(1)
+	g := NewParallelGroup(10, e)
+	var arrivals []Time
+	hops := 0
+	var hop func()
+	hop = func() {
+		arrivals = append(arrivals, e.Now())
+		if hops++; hops < 3 {
+			g.Send(0, 0, 10, hop)
+		}
+	}
+	e.After(5, func() { g.Send(0, 0, 10, hop) })
+	end := g.Run(MaxTime)
+	if !reflect.DeepEqual(arrivals, []Time{15, 25, 35}) {
+		t.Fatalf("arrivals = %v", arrivals)
+	}
+	// The clock parks at the last window end (35 + self-link lookahead).
+	if end != 45 {
+		t.Fatalf("end = %v, want 45", end)
+	}
+}
+
+// TestParallelGroupPerLinkLookahead runs a feed-forward chain with very
+// different link latencies and checks both the timing and that the sparse
+// topology synchronizes in fewer windows than the uniform full mesh.
+func TestParallelGroupPerLinkLookahead(t *testing.T) {
+	run := func(sparse bool, workers int) (arrivals []Time, windows uint64) {
+		engines := []*Engine{NewEngine(1), NewEngine(2), NewEngine(3)}
+		g := NewParallelGroup(10, engines...)
+		g.SetWorkers(workers)
+		g.SetLookahead(0, 1, 10)
+		g.SetLookahead(1, 2, 1000)
+		if sparse {
+			// Only the chain links exist: 0→1→2.
+			for from := 0; from < 3; from++ {
+				for to := 0; to < 3; to++ {
+					if !(from == 0 && to == 1) && !(from == 1 && to == 2) {
+						g.SetNoLink(from, to)
+					}
+				}
+			}
+		}
+		// Shard 2 has dense local work; under the sparse topology its only
+		// constraint is the slow 1→2 link, so it advances in big windows.
+		var local int
+		var tick func()
+		tick = func() {
+			if local++; local < 50 {
+				engines[2].After(7, tick)
+			}
+		}
+		engines[2].After(0, tick)
+		for i := 0; i < 4; i++ {
+			engines[0].After(Time(i*5), func() {
+				g.Send(0, 1, 10, func() {
+					at1 := engines[1].Now()
+					g.Send(1, 2, 1000, func() {
+						arrivals = append(arrivals, engines[2].Now())
+						_ = at1
+					})
+				})
+			})
+		}
+		g.Run(MaxTime)
+		if local != 50 {
+			t.Fatalf("local ticks = %d", local)
+		}
+		return arrivals, g.Windows()
+	}
+	// send i at t=5i arrives at shard 1 at 5i+10, at shard 2 at 5i+1010.
+	want := []Time{1010, 1015, 1020, 1025}
+	sparseArr, sparseWin := run(true, 1)
+	denseArr, denseWin := run(false, 1)
+	if !reflect.DeepEqual(sparseArr, want) || !reflect.DeepEqual(denseArr, want) {
+		t.Fatalf("arrivals sparse %v dense %v, want %v", sparseArr, denseArr, want)
+	}
+	if sparseWin >= denseWin {
+		t.Errorf("sparse topology took %d windows, dense %d — expected fewer", sparseWin, denseWin)
+	}
+	for _, w := range []int{2, 3} {
+		if arr, _ := run(true, w); !reflect.DeepEqual(arr, want) {
+			t.Errorf("workers=%d: arrivals = %v, want %v", w, arr, want)
+		}
+	}
+}
+
+// TestParallelGroupSendBelowLinkLookahead checks the per-link contract: a
+// delay legal under the group default still panics when the specific link
+// demands more, and sending on an absent link always panics.
+func TestParallelGroupSendBelowLinkLookahead(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s should panic", name)
+			}
+		}()
+		fn()
+	}
+	g := NewParallelGroup(100, NewEngine(1), NewEngine(2))
+	g.SetLookahead(0, 1, 500)
+	mustPanic("below link lookahead", func() { g.Send(0, 1, 200, func() {}) })
+	g.Send(1, 0, 100, func() {}) // other direction keeps the default
+	g.SetNoLink(1, 0)
+	mustPanic("send on absent link", func() { g.Send(1, 0, 1000, func() {}) })
+	mustPanic("non-positive per-link lookahead", func() { g.SetLookahead(0, 1, 0) })
+}
+
+// TestParallelGroupPanicPropagates checks that a panic raised inside a
+// window on a pooled worker (here: an in-handler Send below the link
+// lookahead) reaches the Run caller instead of killing the process, and
+// that the pool still shuts down.
+func TestParallelGroupPanicPropagates(t *testing.T) {
+	leakcheck.Check(t)
+	e0, e1 := NewEngine(1), NewEngine(2)
+	g := NewParallelGroup(100, e0, e1)
+	g.SetWorkers(2)
+	e1.After(5, func() { g.Send(1, 0, 10, func() {}) })
+	defer func() {
+		if recover() == nil {
+			t.Error("in-window Send below lookahead should panic out of Run")
+		}
+	}()
+	g.Run(MaxTime)
+}
+
+// TestParallelGroupMixedFormsSharded drives every shard with one goroutine
+// proc and one continuation proc, both emitting cross-shard events, and
+// requires identical per-shard logs at every worker count.
+func TestParallelGroupMixedFormsSharded(t *testing.T) {
+	const shards = 3
+	run := func(workers int) [][]Time {
+		engines := make([]*Engine, shards)
+		for i := range engines {
+			engines[i] = NewEngine(int64(i) + 5)
+		}
+		g := NewParallelGroup(50, engines...)
+		g.SetWorkers(workers)
+		logs := make([][]Time, shards)
+		recv := make([]func(), shards)
+		for i := range recv {
+			i := i
+			recv[i] = func() { logs[i] = append(logs[i], engines[i].Now()) }
+		}
+		for i := range engines {
+			i := i
+			next := (i + 1) % shards
+			engines[i].Spawn("goro", func(p *Proc) {
+				for k := 0; k < 4; k++ {
+					p.Wait(30)
+					g.Send(i, next, 50+Time(k), recv[next])
+				}
+			})
+			engines[i].SpawnEvent("cont", func(ep *EventProc) {
+				k := 0
+				var step func()
+				step = func() {
+					if k++; k > 4 {
+						return
+					}
+					g.Send(i, next, 75, recv[next])
+					ep.Wait(45, step)
+				}
+				ep.Wait(45, step)
+			})
+		}
+		g.Run(MaxTime)
+		for i, e := range engines {
+			if e.LiveProcs() != 0 {
+				t.Fatalf("workers=%d: shard %d leaked %d procs", workers, i, e.LiveProcs())
+			}
+		}
+		return logs
+	}
+	base := run(1)
+	for _, w := range []int{2, 3} {
+		if got := run(w); !reflect.DeepEqual(got, base) {
+			t.Errorf("workers=%d: per-shard logs differ from sequential:\n%v\n%v", w, got, base)
+		}
+	}
+}
+
+// TestParallelGroupWorkerPoolShutdown is the leak gate for the persistent
+// worker pool: every Run must leave no goroutines behind, including
+// repeated Runs on one group.
+func TestParallelGroupWorkerPoolShutdown(t *testing.T) {
+	leakcheck.Check(t)
+	engines := make([]*Engine, 4)
+	for i := range engines {
+		engines[i] = NewEngine(int64(i))
+	}
+	g := NewParallelGroup(100, engines...)
+	g.SetWorkers(4)
+	for i, e := range engines {
+		e.After(Time(10*i+10), func() {})
+		e.After(5000, func() {})
+	}
+	g.Run(1000)
+	g.Run(MaxTime)
 }
 
 func TestAdvanceTo(t *testing.T) {

@@ -130,6 +130,16 @@ type scaleRank struct {
 	syncedF func(error)
 	closedF func(error)
 	doneF   func()
+
+	// Sharded-mode gate state (bound only by RunShardedCheckpoint). The
+	// enter/await continuations are pre-bound so a steady-state gate
+	// crossing allocates nothing per rank.
+	gate       *shardGate
+	gateLead   bool
+	gateGen    int
+	gateK      func()
+	gateEnterF func()
+	gateAwaitF func()
 }
 
 func newScaleRank(r *mpi.EventRank, c *pfs.Client, cfg *ScaleConfig, st *scaleState, gid int, lead bool) *scaleRank {
@@ -217,6 +227,34 @@ func (s *scaleRank) closed(err error) {
 
 func (s *scaleRank) exit() { s.barrier(s.doneF) }
 
+// shardBarrier is the sharded step barrier: the shard-local MPI barrier,
+// then the cross-shard gate. It and the gate continuations below are
+// installed by RunShardedCheckpoint.
+func (s *scaleRank) shardBarrier(k func()) {
+	s.gateK = k
+	s.r.Barrier(s.gateEnterF)
+}
+
+// gateEnter runs once the shard-local barrier has completed: the shard
+// leader announces arrival to the coordinator, and every rank waits for
+// the release generation to advance.
+func (s *scaleRank) gateEnter() {
+	g := s.gate
+	s.gateGen = g.gen
+	if s.gateLead {
+		g.pg.Send(g.shard, 0, g.la, g.coord.arriveF)
+	}
+	s.gateAwait()
+}
+
+func (s *scaleRank) gateAwait() {
+	if s.gate.gen != s.gateGen {
+		s.gateK()
+		return
+	}
+	s.gate.release.WaitE(s.r.Proc(), s.gateAwaitF)
+}
+
 func (s *scaleRank) stepDone() {
 	if s.lead {
 		s.st.stepIOTime[s.step] = s.r.Now() - s.st.stepStart[s.step]
@@ -278,8 +316,9 @@ type ShardedConfig struct {
 	Scale  ScaleConfig
 	Shards int
 	// Workers bounds concurrent shard execution per window (see
-	// des.ParallelGroup.SetWorkers): 1 is sequential, 0 means one goroutine
-	// per shard. The choice never affects results.
+	// des.ParallelGroup.SetWorkers): 1 is sequential, 0 (the default) uses
+	// min(shards, runtime.NumCPU()) persistent workers. The choice never
+	// affects results.
 	Workers int
 	// Lookahead is the cross-shard link latency; cross-shard barrier
 	// messages pay it each way. Defaults to 1.5us (an InfiniBand-like
@@ -296,8 +335,11 @@ type ShardedConfig struct {
 
 // ShardedReport summarizes a sharded checkpoint run.
 type ShardedReport struct {
-	Scale         ScaleConfig
-	Shards        int
+	Scale  ScaleConfig
+	Shards int
+	// Workers is the resolved worker count the run executed with
+	// (ShardedConfig.Workers with 0 resolved to the host core count,
+	// capped at the shard count).
 	Workers       int
 	Lookahead     des.Time
 	RanksPerShard []int
@@ -308,6 +350,10 @@ type ShardedReport struct {
 	Makespan      des.Time
 	EffectiveMBps float64
 	Events        uint64
+	// Windows is the number of conservative lookahead windows (epochs) the
+	// ParallelGroup executed; fewer windows per simulated second means
+	// coarser, cheaper synchronization.
+	Windows uint64
 }
 
 // shardGate is the cross-shard half of the step barrier. After a shard's
@@ -317,21 +363,30 @@ type ShardedReport struct {
 // broadcasts the release. Announce and release each cross partitions with
 // delay == lookahead, honoring the conservative contract, so one gate
 // crossing costs two lookaheads. Coordinator state is touched only by
-// shard-0 events, never concurrently.
+// shard-0 events, never concurrently. The arrive/release continuations
+// are pre-bound once per run, so a steady-state gate crossing pushes
+// nothing but pre-existing function values through ParallelGroup.Send.
 type shardGate struct {
-	pg      *des.ParallelGroup
-	shard   int
-	la      des.Time
-	release *des.Signal
-	gen     int
-	coord   *gateCoord
+	pg       *des.ParallelGroup
+	shard    int
+	la       des.Time
+	release  *des.Signal
+	gen      int
+	coord    *gateCoord
+	releaseF func()
+}
+
+func (g *shardGate) doRelease() {
+	g.gen++
+	g.release.Fire()
 }
 
 type gateCoord struct {
-	pg    *des.ParallelGroup
-	la    des.Time
-	gates []*shardGate
-	count int
+	pg      *des.ParallelGroup
+	la      des.Time
+	gates   []*shardGate
+	count   int
+	arriveF func()
 }
 
 // arrive runs as a shard-0 event, once per shard per gate crossing.
@@ -342,30 +397,8 @@ func (gc *gateCoord) arrive() {
 	}
 	gc.count = 0
 	for s, g := range gc.gates {
-		g := g
-		gc.pg.Send(0, s, gc.la, func() {
-			g.gen++
-			g.release.Fire()
-		})
+		gc.pg.Send(0, s, gc.la, g.releaseF)
 	}
-}
-
-// wait blocks ep until every shard has arrived at this gate generation.
-// Exactly one rank per shard must pass leader == true.
-func (g *shardGate) wait(ep *des.EventProc, leader bool, k func()) {
-	gen := g.gen
-	if leader {
-		g.pg.Send(g.shard, 0, g.la, g.coord.arrive)
-	}
-	var await func()
-	await = func() {
-		if g.gen != gen {
-			k()
-			return
-		}
-		g.release.WaitE(ep, await)
-	}
-	await()
 }
 
 // RunShardedCheckpoint executes the checkpoint workload across sharded
@@ -405,11 +438,26 @@ func RunShardedCheckpoint(cfg ShardedConfig) ShardedReport {
 	}
 	pg := des.NewParallelGroup(la, engines...)
 	pg.SetWorkers(cfg.Workers)
+	// The only cross-shard traffic is the step gate: shard i talks to the
+	// coordinator shard 0 and back (shard 0 also messages itself when it
+	// is the arriving or released shard). Declaring every other link
+	// absent lets non-coordinator shards advance on per-link safe times
+	// without waiting for each other's windows.
+	for i := 1; i < shards; i++ {
+		pg.SetNoLink(i, i)
+		for j := 1; j < shards; j++ {
+			if i != j {
+				pg.SetNoLink(i, j)
+			}
+		}
+	}
 
 	gates := make([]*shardGate, shards)
 	coord := &gateCoord{pg: pg, la: la, gates: gates}
+	coord.arriveF = coord.arrive
 	for i := range gates {
 		gates[i] = &shardGate{pg: pg, shard: i, la: la, release: des.NewSignal(engines[i]), coord: coord}
+		gates[i].releaseF = gates[i].doRelease
 	}
 
 	base, extra := sc.Ranks/shards, sc.Ranks%shards
@@ -437,11 +485,11 @@ func RunShardedCheckpoint(cfg ShardedConfig) ShardedReport {
 		sh, gidBase, gate := sh, gid, gates[sh]
 		w.SpawnEvent(func(r *mpi.EventRank) {
 			s := newScaleRank(r, clients[r.ID()], &sc, st, gidBase+r.ID(), sh == 0 && r.ID() == 0)
-			s.barrier = func(k func()) {
-				r.Barrier(func() {
-					gate.wait(r.Proc(), r.ID() == 0, k)
-				})
-			}
+			s.gate = gate
+			s.gateLead = r.ID() == 0
+			s.gateEnterF = s.gateEnter
+			s.gateAwaitF = s.gateAwait
+			s.barrier = s.shardBarrier
 			s.stepBegin()
 		})
 		gid += n
@@ -455,7 +503,7 @@ func RunShardedCheckpoint(cfg ShardedConfig) ShardedReport {
 	}
 
 	rep := ShardedReport{
-		Scale: sc, Shards: shards, Workers: cfg.Workers, Lookahead: la,
+		Scale: sc, Shards: shards, Workers: pg.Workers(), Lookahead: la,
 		RanksPerShard: ranksPerShard,
 		StepIOTime:    states[0].stepIOTime,
 		StepIOErrors:  make([]uint64, sc.Steps),
@@ -478,5 +526,6 @@ func RunShardedCheckpoint(cfg ShardedConfig) ShardedReport {
 	for _, e := range engines {
 		rep.Events += e.Dispatches()
 	}
+	rep.Windows = pg.Windows()
 	return rep
 }

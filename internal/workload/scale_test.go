@@ -70,8 +70,9 @@ func TestScaleCheckpointDeterminism(t *testing.T) {
 
 // TestShardedWorkersInvariance checks the ParallelGroup contract end to
 // end: a sharded checkpoint produces byte-identical output whether the
-// shards execute sequentially (Workers 1) or concurrently (one goroutine
-// per shard). The -race CI smoke runs the same shape.
+// shards execute sequentially (Workers 1), on fewer pool workers than
+// shards (mixed pinning), on one worker per shard, or at the
+// host-dependent default. The -race CI sweep smoke runs the same shape.
 func TestShardedWorkersInvariance(t *testing.T) {
 	run := func(workers int) ShardedReport {
 		rep := RunShardedCheckpoint(ShardedConfig{
@@ -88,12 +89,16 @@ func TestShardedWorkersInvariance(t *testing.T) {
 		return rep
 	}
 	seq := run(1)
-	par := run(0)
-	if !reflect.DeepEqual(seq, par) {
-		t.Errorf("sharded run differs between Workers=1 and Workers=N:\nseq: %+v\npar: %+v", seq, par)
+	for _, workers := range []int{2, 3, 0} {
+		if par := run(workers); !reflect.DeepEqual(seq, par) {
+			t.Errorf("sharded run differs between Workers=1 and Workers=%d:\nseq: %+v\npar: %+v", workers, seq, par)
+		}
 	}
 	if seq.IOErrors != 0 {
 		t.Errorf("unexpected I/O errors: %d", seq.IOErrors)
+	}
+	if seq.Windows == 0 {
+		t.Error("report should count ParallelGroup windows")
 	}
 	var ranks int
 	for _, n := range seq.RanksPerShard {
