@@ -9,6 +9,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 
@@ -21,7 +22,17 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("iorbench: ")
-	fs := flag.NewFlagSet("iorbench", flag.ExitOnError)
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run is the whole command behind a testable seam: flags come from args,
+// all output goes to the supplied writers, and failures return as errors
+// instead of exiting. The golden test drives it with a bytes.Buffer.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("iorbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var cluster cli.ClusterFlags
 	cluster.Register(fs)
 	ranks := fs.Int("ranks", 4, "MPI ranks")
@@ -32,19 +43,21 @@ func main() {
 	patternStr := fs.String("pattern", "sequential", "access pattern: sequential, strided, random")
 	readBack := fs.Bool("read", false, "add a read-back phase")
 	collective := fs.Bool("collective", false, "use two-phase collective MPI-IO (shared file only)")
-	_ = fs.Parse(os.Args[1:])
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	cfg, err := cluster.Config()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	block, err := cli.ParseSize(*blockStr)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	transfer, err := cli.ParseSize(*transferStr)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	var pattern workload.Pattern
 	switch *patternStr {
@@ -55,7 +68,7 @@ func main() {
 	case "random":
 		pattern = workload.Random
 	default:
-		log.Fatalf("unknown pattern %q", *patternStr)
+		return fmt.Errorf("unknown pattern %q", *patternStr)
 	}
 
 	e := des.NewEngine(cluster.Seed)
@@ -66,14 +79,15 @@ func main() {
 		ReadBack: *readBack, Collective: *collective,
 	})
 
-	fmt.Printf("IOR-like benchmark on simulated cluster (%d OSS x %d OST, %s)\n",
-		cfg.NumOSS, cfg.OSTsPerOSS, *&cluster.Device)
-	fmt.Printf("  ranks=%d block=%s transfer=%s segments=%d shared=%v pattern=%s collective=%v\n",
+	fmt.Fprintf(stdout, "IOR-like benchmark on simulated cluster (%d OSS x %d OST, %s)\n",
+		cfg.NumOSS, cfg.OSTsPerOSS, cluster.Device)
+	fmt.Fprintf(stdout, "  ranks=%d block=%s transfer=%s segments=%d shared=%v pattern=%s collective=%v\n",
 		*ranks, cli.FormatSize(block), cli.FormatSize(transfer), *segments, *shared, pattern, *collective)
-	fmt.Printf("  total data: %s\n", cli.FormatSize(rep.TotalBytes))
-	fmt.Printf("  write: %10.2f MB/s  (%v)\n", rep.WriteMBps, rep.WriteTime)
+	fmt.Fprintf(stdout, "  total data: %s\n", cli.FormatSize(rep.TotalBytes))
+	fmt.Fprintf(stdout, "  write: %10.2f MB/s  (%v)\n", rep.WriteMBps, rep.WriteTime)
 	if *readBack {
-		fmt.Printf("  read:  %10.2f MB/s  (%v)\n", rep.ReadMBps, rep.ReadTime)
+		fmt.Fprintf(stdout, "  read:  %10.2f MB/s  (%v)\n", rep.ReadMBps, rep.ReadTime)
 	}
-	fmt.Printf("  makespan: %v\n", rep.Makespan)
+	fmt.Fprintf(stdout, "  makespan: %v\n", rep.Makespan)
+	return nil
 }

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden outputs")
+
+// checkGolden compares got against the named testdata file byte for byte,
+// rewriting it under -update-golden, and reports the first diverging line
+// on mismatch.
+func checkGolden(t *testing.T, path, got string) {
+	t.Helper()
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update-golden to create): %v", err)
+	}
+	if got == string(want) {
+		return
+	}
+	gl, wl := strings.Split(got, "\n"), strings.Split(string(want), "\n")
+	for i := 0; i < len(gl) && i < len(wl); i++ {
+		if gl[i] != wl[i] {
+			t.Fatalf("output diverges at line %d:\n got: %s\nwant: %s", i+1, gl[i], wl[i])
+		}
+	}
+	t.Fatalf("output length differs: got %d lines, want %d", len(gl), len(wl))
+}
+
+// TestGoldenDefault pins the default-flag output byte for byte — the
+// exact text a user sees running iorbench with no arguments. The
+// simulation promises per-seed determinism; this is the end-to-end check
+// of that promise plus the formatting layer. Regenerate deliberately with
+//
+//	go test ./cmd/iorbench -update-golden
+func TestGoldenDefault(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run(nil, &out, &errb); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errb.String())
+	}
+	if errb.Len() != 0 {
+		t.Errorf("run wrote to stderr: %q", errb.String())
+	}
+	checkGolden(t, "testdata/default_golden.txt", out.String())
+}
+
+// TestGoldenSharedStridedRead pins a loaded configuration: shared file,
+// strided pattern, collective I/O, read-back phase.
+func TestGoldenSharedStridedRead(t *testing.T) {
+	var out, errb bytes.Buffer
+	args := []string{"-ranks", "8", "-block", "1MB", "-transfer", "64KB",
+		"-shared", "-pattern", "strided", "-collective", "-read", "-device", "ssd"}
+	if err := run(args, &out, &errb); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errb.String())
+	}
+	checkGolden(t, "testdata/shared_strided_golden.txt", out.String())
+}
+
+// TestRunStableAcrossRuns guards the golden files themselves: two
+// in-process runs must already agree, so a future divergence against
+// testdata is a determinism break, not flakiness.
+func TestRunStableAcrossRuns(t *testing.T) {
+	once := func() string {
+		var out, errb bytes.Buffer
+		if err := run([]string{"-read"}, &out, &errb); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return out.String()
+	}
+	if once() != once() {
+		t.Fatal("same-flag iorbench runs diverge")
+	}
+}
+
+// TestBadFlagsError covers rejection paths through run.
+func TestBadFlagsError(t *testing.T) {
+	for _, args := range [][]string{
+		{"-pattern", "zigzag"},
+		{"-block", "huge"},
+		{"-device", "tape"},
+	} {
+		var out, errb bytes.Buffer
+		if err := run(args, &out, &errb); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

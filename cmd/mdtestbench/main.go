@@ -1,10 +1,15 @@
 // Command mdtestbench runs the mdtest-like metadata benchmark against a
 // simulated parallel file system and prints per-phase operation rates.
+//
+// Example:
+//
+//	mdtestbench -ranks 8 -files 512 -write 3901B -phases create,stat,read,delete
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 
@@ -17,21 +22,38 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("mdtestbench: ")
-	fs := flag.NewFlagSet("mdtestbench", flag.ExitOnError)
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run is the whole command behind a testable seam: flags come from args,
+// all output goes to the supplied writers, and failures return as errors
+// instead of exiting. The golden test drives it with a bytes.Buffer.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("mdtestbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var cluster cli.ClusterFlags
 	cluster.Register(fs)
 	ranks := fs.Int("ranks", 4, "client ranks")
 	files := fs.Int("files", 256, "files per rank")
-	writeStr := fs.String("write", "0B", "bytes written into each file (mdtest -w)")
-	_ = fs.Parse(os.Args[1:])
+	writeStr := fs.String("write", "0B", "bytes written into each file (mdtest -w); the read phase reads them back")
+	phasesStr := fs.String("phases", "create,stat,delete", "comma-separated timed phases: create,stat,read,delete (create is mandatory)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	cfg, err := cluster.Config()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	writeBytes, err := cli.ParseSize(*writeStr)
 	if err != nil {
-		log.Fatal(err)
+		return err
+	}
+	phases, err := workload.ParseMDPhases(*phasesStr)
+	if err != nil {
+		return err
 	}
 
 	e := des.NewEngine(cluster.Seed)
@@ -39,14 +61,16 @@ func main() {
 	h := workload.NewHarness(e, sim, *ranks, "cn", nil)
 	rep := workload.RunMDTest(h, workload.MDTestConfig{
 		Ranks: *ranks, FilesPerRank: *files, WriteBytes: writeBytes,
+		Phases: phases,
 	})
 
-	fmt.Printf("mdtest-like benchmark: %d ranks x %d files (MDS threads: %d)\n",
+	fmt.Fprintf(stdout, "mdtest-like benchmark: %d ranks x %d files (MDS threads: %d)\n",
 		*ranks, *files, cfg.MDSThreads)
-	fmt.Printf("  %-10s %12s %14s\n", "phase", "time", "ops/sec")
-	fmt.Printf("  %-10s %12v %14.0f\n", "create", rep.CreateTime, rep.CreatesPerS)
-	fmt.Printf("  %-10s %12v %14.0f\n", "stat", rep.StatTime, rep.StatsPerS)
-	fmt.Printf("  %-10s %12v %14.0f\n", "remove", rep.RemoveTime, rep.RemovesPerS)
+	fmt.Fprintf(stdout, "  %-10s %12s %14s\n", "phase", "time", "ops/sec")
+	for _, p := range phases {
+		fmt.Fprintf(stdout, "  %-10s %12v %14.0f\n", p, rep.PhaseTime(p), rep.PhaseRate(p))
+	}
 	st := sim.MDSStats()
-	fmt.Printf("  MDS total ops: %d\n", st.TotalOps)
+	fmt.Fprintf(stdout, "  MDS total ops: %d\n", st.TotalOps)
+	return nil
 }

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden outputs")
+
+// checkGolden compares got against the named testdata file byte for byte,
+// rewriting it under -update-golden, and reports the first diverging line
+// on mismatch.
+func checkGolden(t *testing.T, path, got string) {
+	t.Helper()
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update-golden to create): %v", err)
+	}
+	if got == string(want) {
+		return
+	}
+	gl, wl := strings.Split(got, "\n"), strings.Split(string(want), "\n")
+	for i := 0; i < len(gl) && i < len(wl); i++ {
+		if gl[i] != wl[i] {
+			t.Fatalf("output diverges at line %d:\n got: %s\nwant: %s", i+1, gl[i], wl[i])
+		}
+	}
+	t.Fatalf("output length differs: got %d lines, want %d", len(gl), len(wl))
+}
+
+// TestGoldenDefault pins the default-flag output — the historical
+// create/stat/delete phase table — byte for byte. Regenerate
+// deliberately with
+//
+//	go test ./cmd/mdtestbench -update-golden
+func TestGoldenDefault(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run(nil, &out, &errb); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errb.String())
+	}
+	if errb.Len() != 0 {
+		t.Errorf("run wrote to stderr: %q", errb.String())
+	}
+	checkGolden(t, "testdata/default_golden.txt", out.String())
+}
+
+// TestGoldenAllPhases pins the four-phase IO500-shaped configuration:
+// per-file payloads written, then stat, read-back, and delete timed.
+func TestGoldenAllPhases(t *testing.T) {
+	var out, errb bytes.Buffer
+	args := []string{"-ranks", "4", "-files", "32", "-write", "3901B",
+		"-phases", "create,stat,read,delete"}
+	if err := run(args, &out, &errb); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errb.String())
+	}
+	s := out.String()
+	for _, ph := range []string{"create", "stat", "read", "delete"} {
+		if !strings.Contains(s, ph) {
+			t.Errorf("output missing %s phase row:\n%s", ph, s)
+		}
+	}
+	checkGolden(t, "testdata/all_phases_golden.txt", s)
+}
+
+// TestPhaseSelection: omitted phases must not appear in the table.
+func TestPhaseSelection(t *testing.T) {
+	var out, errb bytes.Buffer
+	if err := run([]string{"-phases", "create,delete"}, &out, &errb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, line := range strings.Split(out.String(), "\n") {
+		f := strings.Fields(line)
+		if len(f) > 0 && (f[0] == "stat" || f[0] == "read") {
+			t.Errorf("unselected phase row leaked into output: %q", line)
+		}
+	}
+}
+
+// TestRunStableAcrossRuns guards the golden files themselves.
+func TestRunStableAcrossRuns(t *testing.T) {
+	once := func() string {
+		var out, errb bytes.Buffer
+		if err := run([]string{"-phases", "create,stat,read,delete", "-write", "1KB"}, &out, &errb); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return out.String()
+	}
+	if once() != once() {
+		t.Fatal("same-flag mdtestbench runs diverge")
+	}
+}
+
+// TestBadFlagsError covers rejection paths through run.
+func TestBadFlagsError(t *testing.T) {
+	for _, args := range [][]string{
+		{"-phases", "stat,delete"},   // create is mandatory
+		{"-phases", "create,fsck"},   // unknown phase
+		{"-phases", "create,create"}, // duplicate
+		{"-write", "lots"},
+		{"-device", "tape"},
+	} {
+		var out, errb bytes.Buffer
+		if err := run(args, &out, &errb); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

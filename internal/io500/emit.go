@@ -1,0 +1,53 @@
+package io500
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"pioeval/internal/cli"
+)
+
+// WriteText renders the result as an IO500-list-style text table: one
+// [RESULT] line per phase in reporting order, then the [SCORE] line with
+// both sub-scores and the total. Output is deterministic per Result.
+func (r *Result) WriteText(w io.Writer) error {
+	cfg := r.Config
+	if _, err := fmt.Fprintf(w, "IO500-style composite suite (simulated cluster)\n"); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  config: ranks=%d device=%s tier=%s stripe=%dx%s seed=%d\n",
+		cfg.Ranks, cfg.Device, cfg.Tier, cfg.StripeCount, cli.FormatSize(cfg.StripeSize), cfg.Seed)
+	fmt.Fprintf(w, "  sizing: easy-block=%s easy-xfer=%s hard-xfer=%dB hard-ops=%d easy-files=%d hard-files=%d hard-bytes=%dB\n",
+		cli.FormatSize(cfg.EasyBlock), cli.FormatSize(cfg.EasyXfer), cfg.HardXfer,
+		cfg.HardOps, cfg.EasyFiles, cfg.HardFiles, cfg.HardFileBytes)
+	for _, p := range r.Phases {
+		unit := "kIOPS"
+		if p.Kind == KindBW {
+			unit = "GiB/s"
+		}
+		extra := ""
+		if p.Name == Find {
+			extra = fmt.Sprintf(" : found %d", p.Found)
+		}
+		fmt.Fprintf(w, "[RESULT] %20s %15.6f %s : time %.6f seconds%s\n",
+			p.Name, p.Value, unit, p.Seconds, extra)
+	}
+	fmt.Fprintf(w, "[SCORE ] Bandwidth %.6f GiB/s : IOPS %.6f kIOPS : TOTAL %.6f\n",
+		r.BWScore, r.MDScore, r.Score)
+	for _, v := range r.Violations {
+		fmt.Fprintf(w, "validation: VIOLATION %s\n", v)
+	}
+	if r.Config.Check && len(r.Violations) == 0 {
+		fmt.Fprintln(w, "validation: all invariants held")
+	}
+	return nil
+}
+
+// WriteJSON serializes the result (config, per-phase metrics, scores,
+// violations) as indented JSON — the BENCH_io500.json suite record.
+func (r *Result) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -1,0 +1,83 @@
+package surveystats
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Report bundles the corpus and its analysis for single-document JSON
+// emission — the BENCH_io500.json survey record.
+type Report struct {
+	Corpus   *Corpus   `json:"corpus"`
+	Analysis *Analysis `json:"analysis"`
+}
+
+// WriteJSON emits the full survey report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteCSV emits the submission table: one row per suite run with its
+// configuration, every metric, and the attributed bottleneck phase.
+func (r *Report) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	names := MetricNames()
+	header := append([]string{"index", "device", "tier", "ranks", "seed"}, names...)
+	header = append(header, "bottleneck", "bottleneck_gain")
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i, s := range r.Corpus.Submissions {
+		row := []string{
+			strconv.Itoa(i), s.Config.Device, s.Config.Tier,
+			strconv.Itoa(s.Config.Ranks), strconv.FormatInt(s.Config.Seed, 10),
+		}
+		for _, n := range names {
+			row = append(row, strconv.FormatFloat(metricValue(s, n), 'g', 9, 64))
+		}
+		b := r.Analysis.Bottlenecks[i]
+		row = append(row, b.Phase, strconv.FormatFloat(b.Gain, 'g', 9, 64))
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteText renders the analysis for humans: the distribution table,
+// the phase-vs-total-score correlation column, and the bottleneck tally.
+func (r *Report) WriteText(w io.Writer) error {
+	a := r.Analysis
+	if _, err := fmt.Fprintf(w, "IO500 submission-corpus survey: %d submissions (%d devices x %d tiers x %d rank counts)\n",
+		a.N, len(r.Corpus.Grid.Devices), len(r.Corpus.Grid.Tiers), len(r.Corpus.Grid.Ranks)); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\n%-22s %12s %12s %12s %12s %8s\n", "metric", "median", "p25", "p95", "max", "CV")
+	for _, m := range a.Metrics {
+		fmt.Fprintf(w, "%-22s %12.4f %12.4f %12.4f %12.4f %8.3f\n",
+			m.Metric, m.Median, m.P25, m.P95, m.Max, m.CV)
+	}
+
+	names := MetricNames()
+	scoreIdx := len(names) - 1
+	fmt.Fprintf(w, "\ncorrelation with total score (across submissions):\n")
+	fmt.Fprintf(w, "%-22s %10s %10s\n", "metric", "pearson", "spearman")
+	for i, n := range names[:scoreIdx] {
+		fmt.Fprintf(w, "%-22s %10.3f %10.3f\n", n, a.Pearson[i][scoreIdx], a.Spearman[i][scoreIdx])
+	}
+
+	fmt.Fprintf(w, "\nbottleneck attribution (phase whose lift to corpus median gains the most score):\n")
+	if len(a.BottleneckCounts) == 0 {
+		fmt.Fprintln(w, "  (no submission below corpus median in any phase)")
+	}
+	for _, pc := range a.BottleneckCounts {
+		fmt.Fprintf(w, "  %-22s %3d submissions\n", pc.Phase, pc.Count)
+	}
+	return nil
+}

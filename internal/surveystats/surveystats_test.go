@@ -1,0 +1,231 @@
+package surveystats
+
+import (
+	"bytes"
+	"encoding/csv"
+	"math"
+	"strings"
+	"testing"
+
+	"pioeval/internal/io500"
+)
+
+// tinyGrid is a 2-device x 2-tier x 1-rank-count survey small enough
+// for unit tests: four submissions.
+func tinyGrid() Grid {
+	return Grid{
+		Devices: []string{"hdd", "ssd"},
+		Tiers:   []string{"direct", "nodelocal"},
+		Ranks:   []int{2},
+		Base: io500.Config{
+			EasyBlock: 1 << 20, EasyXfer: 256 << 10,
+			HardXfer: 47008, HardOps: 4,
+			EasyFiles: 8, HardFiles: 4,
+		},
+		Seed:    42,
+		Workers: 1,
+	}
+}
+
+func TestGridPointsOrderAndSeeds(t *testing.T) {
+	g := tinyGrid()
+	pts := g.Points()
+	if len(pts) != 4 {
+		t.Fatalf("grid expands to %d points, want 4", len(pts))
+	}
+	// Device-major, then tier, then ranks.
+	want := []struct{ dev, tier string }{
+		{"hdd", "direct"}, {"hdd", "nodelocal"}, {"ssd", "direct"}, {"ssd", "nodelocal"},
+	}
+	seeds := map[int64]bool{}
+	for i, p := range pts {
+		if p.Device != want[i].dev || p.Tier != want[i].tier {
+			t.Errorf("point %d = %s/%s, want %s/%s", i, p.Device, p.Tier, want[i].dev, want[i].tier)
+		}
+		if seeds[p.Seed] {
+			t.Errorf("point %d reuses seed %d", i, p.Seed)
+		}
+		seeds[p.Seed] = true
+	}
+}
+
+func TestGridValidate(t *testing.T) {
+	bad := []Grid{
+		{},
+		{Devices: []string{"hdd"}, Tiers: []string{"direct"}},
+		{Devices: []string{"tape"}, Tiers: []string{"direct"}, Ranks: []int{2}},
+		{Devices: []string{"hdd"}, Tiers: []string{"cloud"}, Ranks: []int{2}},
+	}
+	for i, g := range bad {
+		if err := g.Validate(); err == nil {
+			t.Errorf("grid %d validated, want error", i)
+		}
+	}
+	if err := tinyGrid().Validate(); err != nil {
+		t.Errorf("tiny grid rejected: %v", err)
+	}
+}
+
+func TestBuildCorpusDeterministicAcrossWorkers(t *testing.T) {
+	render := func(workers int) string {
+		g := tinyGrid()
+		g.Workers = workers
+		c, err := BuildCorpus(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := Analyze(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b bytes.Buffer
+		rep := &Report{Corpus: c, Analysis: a}
+		if err := rep.WriteJSON(&b); err != nil {
+			t.Fatal(err)
+		}
+		if err := rep.WriteCSV(&b); err != nil {
+			t.Fatal(err)
+		}
+		if err := rep.WriteText(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	base := render(1)
+	if got := render(4); got != base {
+		t.Fatal("survey output differs between workers=1 and workers=4")
+	}
+}
+
+func TestAnalyzeShapes(t *testing.T) {
+	c, err := BuildCorpus(tinyGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := MetricNames()
+	if len(names) != len(io500.PhaseOrder)+3 {
+		t.Fatalf("metric names = %d, want %d", len(names), len(io500.PhaseOrder)+3)
+	}
+	if a.N != 4 || len(a.Metrics) != len(names) {
+		t.Fatalf("analysis N=%d metrics=%d", a.N, len(a.Metrics))
+	}
+	if len(a.Pearson) != len(names) || len(a.Spearman) != len(names) {
+		t.Fatalf("matrix rows = %d/%d, want %d", len(a.Pearson), len(a.Spearman), len(names))
+	}
+	for i := range names {
+		if len(a.Pearson[i]) != len(names) {
+			t.Fatalf("pearson row %d has %d cols", i, len(a.Pearson[i]))
+		}
+		// Self-correlation is exactly 1 for non-degenerate metrics.
+		if math.Abs(a.Pearson[i][i]-1) > 1e-9 {
+			t.Errorf("pearson[%d][%d] = %f, want 1", i, i, a.Pearson[i][i])
+		}
+		if math.Abs(a.Spearman[i][i]-1) > 1e-9 {
+			t.Errorf("spearman[%d][%d] = %f, want 1", i, i, a.Spearman[i][i])
+		}
+		for j := range names {
+			if math.Abs(a.Pearson[i][j]-a.Pearson[j][i]) > 1e-9 {
+				t.Errorf("pearson asymmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+	if len(a.Bottlenecks) != a.N {
+		t.Fatalf("bottlenecks = %d, want %d", len(a.Bottlenecks), a.N)
+	}
+	// Every submission distribution must be populated.
+	for _, m := range a.Metrics {
+		if m.N != a.N {
+			t.Errorf("metric %s summarized %d values, want %d", m.Metric, m.N, a.N)
+		}
+	}
+}
+
+// synthetic builds an io500.Result with uniform phase values except the
+// named phase, which is depressed by the given factor.
+func synthetic(weak string, factor float64) *io500.Result {
+	r := &io500.Result{}
+	r.Config.Device, r.Config.Tier, r.Config.Ranks = "hdd", "direct", 2
+	for _, n := range io500.PhaseOrder {
+		v := 10.0
+		if n == weak {
+			v = 10.0 * factor
+		}
+		r.Phases = append(r.Phases, io500.Phase{Name: n, Kind: io500.PhaseKind(n), Value: v})
+	}
+	r.BWScore, r.MDScore, r.Score = io500.Score(r.Values())
+	return r
+}
+
+func TestBottleneckAttribution(t *testing.T) {
+	// Three healthy sites and one crippled in ior-hard-write: the
+	// analysis must attribute exactly that phase, and lifting it to the
+	// corpus median must recover score.
+	c := &Corpus{
+		Grid: Grid{Devices: []string{"hdd"}, Tiers: []string{"direct"}, Ranks: []int{2}},
+		Submissions: []*io500.Result{
+			synthetic("", 1), synthetic("", 1), synthetic("", 1),
+			synthetic(io500.IorHardWrite, 0.01),
+		},
+	}
+	a, err := Analyze(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := a.Bottlenecks[3]
+	if b.Phase != io500.IorHardWrite {
+		t.Fatalf("attributed %q, want %s", b.Phase, io500.IorHardWrite)
+	}
+	if b.Gain <= 0 || b.Lifted <= b.Score {
+		t.Fatalf("lift gained %.4f (score %.4f -> %.4f), want positive", b.Gain, b.Score, b.Lifted)
+	}
+	// The healthy sites sit at the median everywhere: no attribution.
+	for i := 0; i < 3; i++ {
+		if a.Bottlenecks[i].Phase != "" {
+			t.Errorf("healthy submission %d attributed %q", i, a.Bottlenecks[i].Phase)
+		}
+	}
+	if len(a.BottleneckCounts) != 1 || a.BottleneckCounts[0] != (PhaseCount{io500.IorHardWrite, 1}) {
+		t.Errorf("bottleneck tally = %+v", a.BottleneckCounts)
+	}
+}
+
+func TestCSVWellFormed(t *testing.T) {
+	c, err := BuildCorpus(tinyGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	if err := (&Report{Corpus: c, Analysis: a}).WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&b).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1+len(c.Submissions) {
+		t.Fatalf("csv rows = %d, want %d", len(rows), 1+len(c.Submissions))
+	}
+	wantCols := 5 + len(MetricNames()) + 2
+	for i, row := range rows {
+		if len(row) != wantCols {
+			t.Fatalf("csv row %d has %d cols, want %d", i, len(row), wantCols)
+		}
+	}
+	if !strings.HasPrefix(strings.Join(rows[0], ","), "index,device,tier,ranks,seed,ior-easy-write") {
+		t.Errorf("csv header = %v", rows[0])
+	}
+}
+
+func TestAnalyzeEmptyCorpus(t *testing.T) {
+	if _, err := Analyze(&Corpus{}); err == nil {
+		t.Error("empty corpus analyzed, want error")
+	}
+}

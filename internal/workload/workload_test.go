@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"strings"
 	"testing"
 
 	"pioeval/internal/blockdev"
@@ -331,5 +332,83 @@ func TestBTIODefaults(t *testing.T) {
 	c2 := BTIOConfig{Ranks: 64, Dims: [3]int64{8, 8, 8}}.withDefaults()
 	if c2.Dims[0] < 64 {
 		t.Errorf("dim0 = %d", c2.Dims[0])
+	}
+}
+
+func TestParseMDPhases(t *testing.T) {
+	// Empty string selects the historical default set.
+	def, err := ParseMDPhases("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := strings.Join(def, ","), "create,stat,delete"; got != want {
+		t.Fatalf("default phases = %s, want %s", got, want)
+	}
+	// Any selection comes back in canonical order regardless of input order.
+	all, err := ParseMDPhases("delete,read,create,stat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := strings.Join(all, ","), "create,stat,read,delete"; got != want {
+		t.Fatalf("phases = %s, want %s", got, want)
+	}
+	for _, bad := range []string{"stat,delete", "create,create", "create,fsck"} {
+		if _, err := ParseMDPhases(bad); err == nil {
+			t.Errorf("ParseMDPhases(%q) accepted, want error", bad)
+		}
+	}
+}
+
+func TestMDTestSelectablePhases(t *testing.T) {
+	run := func(phases string) MDTestReport {
+		e := des.NewEngine(47)
+		h := NewHarness(e, ssdFS(e), 4, "cn", nil)
+		sel, err := ParseMDPhases(phases)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return RunMDTest(h, MDTestConfig{
+			Ranks: 4, FilesPerRank: 16, WriteBytes: 3901, Phases: sel,
+		})
+	}
+
+	// All four phases: every rate positive, read back the written payload.
+	full := run("create,stat,read,delete")
+	for _, ph := range []string{MDPhaseCreate, MDPhaseStat, MDPhaseRead, MDPhaseDelete} {
+		if full.PhaseRate(ph) <= 0 {
+			t.Errorf("phase %s rate %.1f, want > 0", ph, full.PhaseRate(ph))
+		}
+		if full.PhaseTime(ph) <= 0 {
+			t.Errorf("phase %s time %v, want > 0", ph, full.PhaseTime(ph))
+		}
+	}
+
+	// Omitted phases report zero time and rate.
+	partial := run("create,delete")
+	for _, ph := range []string{MDPhaseStat, MDPhaseRead} {
+		if partial.PhaseRate(ph) != 0 || partial.PhaseTime(ph) != 0 {
+			t.Errorf("skipped phase %s reported time %v rate %.1f, want zeros",
+				ph, partial.PhaseTime(ph), partial.PhaseRate(ph))
+		}
+	}
+
+	// The read phase costs simulated time: adding it lengthens the
+	// makespan of an otherwise identical run.
+	withRead := run("create,read,delete")
+	if withRead.Makespan <= partial.Makespan {
+		t.Errorf("makespan with read %v should exceed without %v",
+			withRead.Makespan, partial.Makespan)
+	}
+
+	// Rate definition check: ops/sec = total files / phase seconds.
+	if got, want := full.PhaseRate(MDPhaseRead), float64(full.TotalFiles)/full.ReadTime.Seconds(); got != want {
+		t.Errorf("read rate %.6f, want %.6f", got, want)
+	}
+}
+
+func TestMDTestPhaseHelpersUnknownName(t *testing.T) {
+	var rep MDTestReport
+	if rep.PhaseRate("fsck") != 0 || rep.PhaseTime("fsck") != 0 {
+		t.Error("unknown phase name should report zeros")
 	}
 }
