@@ -47,6 +47,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	ranks := fs.Int("ranks", 4, "MPI ranks")
 	device := fs.String("device", "hdd", "OST device model: hdd, ssd, nvme")
 	tier := fs.String("tier", "direct", "storage tier: direct, bb, nodelocal")
+	compress := fs.String("compress", "none", "data-reduction stage over the tier: none, lz, deflate, zfp, sz")
 	stripeCnt := fs.Int("stripe-count", 4, "stripe count")
 	stripeStr := fs.String("stripe-size", "1MB", "stripe size")
 	seed := fs.Int64("seed", 1, "simulation seed")
@@ -67,6 +68,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	devicesStr := fs.String("devices", "hdd,ssd,nvme", "survey: comma-separated device models")
 	tiersStr := fs.String("tiers", "direct,bb,nodelocal", "survey: comma-separated storage tiers")
 	rankCountsStr := fs.String("rank-counts", "2,4,8", "survey: comma-separated rank counts")
+	compressorsStr := fs.String("compressors", "none", "survey: comma-separated data-reduction stages (none, lz, deflate, zfp, sz)")
 	csvPath := fs.String("csv", "", "survey: also write the submission table as CSV to this path (- for stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -85,7 +87,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	cfg := io500.Config{
-		Ranks: *ranks, Device: *device, Tier: *tier,
+		Ranks: *ranks, Device: *device, Tier: *tier, Compress: *compress,
 		StripeCount: *stripeCnt, StripeSize: stripeSize,
 		Seed: *seed, Workers: *workers, Check: *validate,
 		EasyBlock: easyBlock, EasyXfer: easyXfer,
@@ -94,7 +96,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	if *survey {
-		return runSurvey(cfg, *devicesStr, *tiersStr, *rankCountsStr, *seed, *jsonOut, *csvPath, stdout)
+		return runSurvey(cfg, *devicesStr, *tiersStr, *rankCountsStr, *compressorsStr, *seed, *jsonOut, *csvPath, stdout)
 	}
 	return runSuite(cfg, *jsonOut, *checkWorkers, stdout)
 }
@@ -139,18 +141,26 @@ func runSuite(cfg io500.Config, jsonOut bool, checkWorkers int, stdout io.Writer
 
 // runSurvey builds the submission corpus over the requested grid and
 // emits the analysis (text or JSON), plus the CSV table if asked.
-func runSurvey(base io500.Config, devices, tiers, rankCounts string, seed int64, jsonOut bool, csvPath string, stdout io.Writer) error {
+func runSurvey(base io500.Config, devices, tiers, rankCounts, compressors string, seed int64, jsonOut bool, csvPath string, stdout io.Writer) error {
 	rc, err := parseInts(rankCounts)
 	if err != nil {
 		return fmt.Errorf("rank-counts: %w", err)
 	}
+	// A pure-default compressor list stays off the grid entirely, so the
+	// point expansion (and every derived seed) matches pre-axis surveys.
+	comps := splitList(compressors)
+	if len(comps) == 1 && (comps[0] == "none" || comps[0] == "") {
+		comps = nil
+	}
+	base.Compress = ""
 	g := surveystats.Grid{
-		Devices: splitList(devices),
-		Tiers:   splitList(tiers),
-		Ranks:   rc,
-		Base:    base,
-		Seed:    seed,
-		Workers: base.Workers,
+		Devices:  splitList(devices),
+		Tiers:    splitList(tiers),
+		Ranks:    rc,
+		Compress: comps,
+		Base:     base,
+		Seed:     seed,
+		Workers:  base.Workers,
 	}
 	corpus, err := surveystats.BuildCorpus(g)
 	if err != nil {

@@ -28,6 +28,7 @@ import (
 	"pioeval/internal/iolang"
 	"pioeval/internal/monitor"
 	"pioeval/internal/pfs"
+	"pioeval/internal/reduce"
 	"pioeval/internal/storage"
 	"pioeval/internal/trace"
 	"pioeval/internal/validate"
@@ -64,6 +65,7 @@ func main() {
 	doValidate := fs.Bool("validate", false, "arm runtime invariant checkers and exit non-zero on any violation (runs a built-in scenario when no script is given)")
 	doOracles := fs.Bool("oracles", false, "run the analytic oracle suite instead of a workload; exit non-zero on failure")
 	tier := fs.String("tier", "direct", "storage tier for workload ranks: direct, bb (burst-buffer write-back), or nodelocal (per-node scratch)")
+	compress := fs.String("compress", "none", "data-reduction stage over the tier: none, lz, deflate, zfp, or sz")
 	scaleRanks := fs.Int("ranks", 0, "run the built-in scale checkpoint with this many continuation-form ranks instead of a workload script")
 	shards := fs.Int("shards", 1, "partition the scale run into this many engines coupled by a ParallelGroup")
 	shardWorkers := fs.Int("shard-workers", 0, "persistent shard workers (0 = all host cores via runtime.NumCPU, 1 = sequential); never affects results")
@@ -176,10 +178,19 @@ func main() {
 		}
 	}
 	var prov *storage.Provider
-	if *tier != "direct" && *tier != "" {
+	var comp *reduce.Stage
+	wantCompress := *compress != "none" && *compress != ""
+	if *tier != "direct" && *tier != "" || wantCompress {
 		prov, err = storage.NewProvider(e, sim, *tier, storage.ProviderConfig{})
 		if err != nil {
 			log.Fatal(err)
+		}
+		if wantCompress {
+			comp, err = reduce.New(*compress)
+			if err != nil {
+				log.Fatal(err)
+			}
+			prov.Push(comp)
 		}
 		if inv != nil {
 			inv.ObserveTier(prov)
@@ -242,6 +253,15 @@ func main() {
 					st.Name, cli.FormatSize(st.BytesRead), cli.FormatSize(st.BytesWritten), st.Files)
 			}
 		}
+	}
+
+	if comp != nil {
+		st := comp.StageStats()
+		fmt.Printf("\ncompression (%s):\n", comp.Name())
+		fmt.Printf("  wrote logical %s -> physical %s (ratio %.2f), cpu %.4fs\n",
+			cli.FormatSize(st.LogicalWritten), cli.FormatSize(st.PhysicalWritten), st.Ratio(), st.CompressSeconds)
+		fmt.Printf("  read  logical %s <- physical %s, cpu %.4fs\n",
+			cli.FormatSize(st.LogicalRead), cli.FormatSize(st.PhysicalRead), st.DecompressSeconds)
 	}
 
 	if campaign != nil {

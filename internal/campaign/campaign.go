@@ -24,6 +24,7 @@ import (
 
 	"pioeval/internal/des"
 	"pioeval/internal/faults"
+	"pioeval/internal/reduce"
 )
 
 // Workload kinds a campaign can sweep.
@@ -57,6 +58,7 @@ type Spec struct {
 	Collective    []bool   // two-phase collective MPI-IO (IOR only)
 	BurstBuffer   []bool   // stage writes through a burst buffer (checkpoint only)
 	Tiers         []string // storage tiers: direct (default), bb, nodelocal
+	Compress      []string // data-reduction stage: none (default), or a reduce preset (lz, deflate, zfp, sz)
 	Faults        []string // fault-campaign specs (faults.ParseCampaign syntax); "" = none
 }
 
@@ -72,7 +74,8 @@ type Point struct {
 	Pattern      string `json:"pattern,omitempty"`
 	Collective   bool   `json:"collective,omitempty"`
 	BurstBuffer  bool   `json:"burst_buffer,omitempty"`
-	Tier         string `json:"tier,omitempty"` // "" = direct
+	Tier         string `json:"tier,omitempty"`     // "" = direct
+	Compress     string `json:"compress,omitempty"` // "" = none
 	Faults       string `json:"faults,omitempty"`
 }
 
@@ -91,6 +94,9 @@ func (p Point) Label() string {
 	}
 	if p.Tier != "" {
 		fmt.Fprintf(&b, " tier=%s", p.Tier)
+	}
+	if p.Compress != "" {
+		fmt.Fprintf(&b, " comp=%s", p.Compress)
 	}
 	if p.Faults != "" {
 		b.WriteString(" faults")
@@ -142,10 +148,42 @@ func (s Spec) withDefaults() Spec {
 	if len(s.Tiers) == 0 {
 		s.Tiers = []string{""}
 	}
+	if len(s.Compress) == 0 {
+		s.Compress = []string{""}
+	}
 	if len(s.Faults) == 0 {
 		s.Faults = []string{""}
 	}
+	// Canonical spellings: "direct" is the "" tier and "none" the ""
+	// compressor. Normalizing here — inside Canonical — keeps equivalent
+	// spec texts hashing equal, so a result cache keyed on the canonical
+	// digest (siod's) never stores the same campaign twice.
+	s.Tiers = canonicalAxis(s.Tiers, "direct")
+	s.Compress = canonicalAxis(s.Compress, "none")
 	return s
+}
+
+// canonicalAxis rewrites an axis's verbose default spelling to the
+// canonical "" without mutating the caller's slice.
+func canonicalAxis(vals []string, verbose string) []string {
+	changed := false
+	for _, v := range vals {
+		if v == verbose {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		return vals
+	}
+	out := make([]string, len(vals))
+	for i, v := range vals {
+		if v == verbose {
+			v = ""
+		}
+		out[i] = v
+	}
+	return out
 }
 
 // Canonical returns the spec in normal form — every unset scalar and axis
@@ -235,6 +273,18 @@ func (s Spec) Validate() error {
 			}
 		}
 	}
+	// The compress axis is checked after tiers so a spec that botches both
+	// reports the tier first — one coherent error path, not two competing
+	// messages for what is usually a single malformed stanza.
+	for _, c := range s.Compress {
+		switch c {
+		case "", "none":
+		default:
+			if _, ok := reduce.Lookup(c); !ok {
+				return fmt.Errorf("campaign: unknown compressor %q (want none or one of %v)", c, reduce.Names())
+			}
+		}
+	}
 	for _, f := range s.Faults {
 		if f == "" {
 			continue
@@ -260,25 +310,27 @@ func (s Spec) Expand() []Point {
 							for _, pat := range s.Patterns {
 								for _, coll := range s.Collective {
 									for _, bb := range s.BurstBuffer {
+										// Spellings are already canonical here:
+										// withDefaults rewrote direct/none to "".
 										for _, tier := range s.Tiers {
-											if tier == "direct" {
-												tier = "" // canonical spelling of the default tier
-											}
-											for _, f := range s.Faults {
-												out = append(out, Point{
-													ID:           len(out),
-													Ranks:        ranks,
-													Device:       dev,
-													StripeCount:  sc,
-													StripeSize:   ss,
-													BlockSize:    bs,
-													TransferSize: ts,
-													Pattern:      pat,
-													Collective:   coll,
-													BurstBuffer:  bb,
-													Tier:         tier,
-													Faults:       f,
-												})
+											for _, comp := range s.Compress {
+												for _, f := range s.Faults {
+													out = append(out, Point{
+														ID:           len(out),
+														Ranks:        ranks,
+														Device:       dev,
+														StripeCount:  sc,
+														StripeSize:   ss,
+														BlockSize:    bs,
+														TransferSize: ts,
+														Pattern:      pat,
+														Collective:   coll,
+														BurstBuffer:  bb,
+														Tier:         tier,
+														Compress:     comp,
+														Faults:       f,
+													})
+												}
 											}
 										}
 									}

@@ -18,6 +18,9 @@ func FuzzSpecParse(f *testing.F) {
 		"campaign \"t\" {\n\ttransfer-size 256KB, 1MB # comment\n\tfaults \"\", \"ostcrash:1@5ms\"\n}\n",
 		"campaign \"t\" {\n\tworkload checkpoint\n\ttier direct, bb, nodelocal\n\tblock-size 1MB\n}\n",
 		"campaign \"t\" {\n\ttier warp\n}\n",
+		"campaign \"t\" {\n\tcompress none, lz, deflate\n\tdevice hdd, nvme\n}\n",
+		"campaign \"t\" {\n\tworkload checkpoint\n\tcompress sz\n\ttier bb\n\tblock-size 4MB\n}\n",
+		"campaign \"t\" {\n\ttier warp\n\tcompress brotli\n}\n",
 		"campaign \"broken\" {",
 		"campaign \"t\" {\n\tranks 0\n}\n",
 		"not a campaign",
@@ -35,7 +38,7 @@ func FuzzSpecParse(f *testing.F) {
 		}
 		n := len(s.Ranks) * len(s.Devices) * len(s.StripeCounts) * len(s.StripeSizes) *
 			len(s.BlockSizes) * len(s.TransferSizes) * len(s.Patterns) * len(s.Collective) *
-			len(s.BurstBuffer) * len(s.Tiers) * len(s.Faults)
+			len(s.BurstBuffer) * len(s.Tiers) * len(s.Compress) * len(s.Faults)
 		if n <= 0 || n > maxFuzzPoints {
 			return
 		}

@@ -14,6 +14,7 @@ import (
 	"pioeval/internal/des"
 	"pioeval/internal/faults"
 	"pioeval/internal/pfs"
+	"pioeval/internal/reduce"
 	"pioeval/internal/storage"
 	"pioeval/internal/workload"
 )
@@ -276,6 +277,14 @@ func simulate(spec Spec, p Point, seed int64) map[string]float64 {
 	if err != nil {
 		panic(fmt.Sprintf("campaign: unvalidated tier %q: %v", p.Tier, err))
 	}
+	var comp *reduce.Stage
+	if p.Compress != "" {
+		comp, err = reduce.New(p.Compress)
+		if err != nil {
+			panic(fmt.Sprintf("campaign: unvalidated compressor %q: %v", p.Compress, err))
+		}
+		pr.Push(comp)
+	}
 	h := workload.NewHarnessOn(e, fs, p.Ranks, "camp", nil, pr)
 	var m map[string]float64
 	switch spec.Workload {
@@ -294,6 +303,14 @@ func simulate(spec Spec, p Point, seed int64) map[string]float64 {
 		m["bb_drain_errors"] += float64(bst.DrainErrors)
 		if mb := float64(bst.PeakUsed) / 1e6; mb > m["bb_peak_used_MB"] {
 			m["bb_peak_used_MB"] = mb
+		}
+	}
+	if comp != nil {
+		cst := comp.StageStats()
+		m["compress_ratio"] = cst.Ratio()
+		m["compress_cpu_s"] = cst.CompressSeconds + cst.DecompressSeconds
+		if cpu := cst.CompressSeconds + cst.DecompressSeconds; cpu > 0 {
+			m["compress_MBps"] = float64(cst.LogicalWritten+cst.LogicalRead) / 1e6 / cpu
 		}
 	}
 	return m

@@ -135,6 +135,8 @@ func (s *Spec) set(key string, vals []string) error {
 		s.BurstBuffer, err = parseBools(vals)
 	case "tier":
 		s.Tiers = vals
+	case "compress":
+		s.Compress = vals
 	case "faults":
 		for _, v := range vals {
 			f, qerr := unquote(v)

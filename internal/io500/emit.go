@@ -16,8 +16,12 @@ func (r *Result) WriteText(w io.Writer) error {
 	if _, err := fmt.Fprintf(w, "IO500-style composite suite (simulated cluster)\n"); err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "  config: ranks=%d device=%s tier=%s stripe=%dx%s seed=%d\n",
-		cfg.Ranks, cfg.Device, cfg.Tier, cfg.StripeCount, cli.FormatSize(cfg.StripeSize), cfg.Seed)
+	comp := ""
+	if cfg.Compress != "" {
+		comp = " compress=" + cfg.Compress
+	}
+	fmt.Fprintf(w, "  config: ranks=%d device=%s tier=%s%s stripe=%dx%s seed=%d\n",
+		cfg.Ranks, cfg.Device, cfg.Tier, comp, cfg.StripeCount, cli.FormatSize(cfg.StripeSize), cfg.Seed)
 	fmt.Fprintf(w, "  sizing: easy-block=%s easy-xfer=%s hard-xfer=%dB hard-ops=%d easy-files=%d hard-files=%d hard-bytes=%dB\n",
 		cli.FormatSize(cfg.EasyBlock), cli.FormatSize(cfg.EasyXfer), cfg.HardXfer,
 		cfg.HardOps, cfg.EasyFiles, cfg.HardFiles, cfg.HardFileBytes)

@@ -29,6 +29,7 @@ import (
 	"pioeval/internal/mpi"
 	"pioeval/internal/pfs"
 	"pioeval/internal/posixio"
+	"pioeval/internal/reduce"
 	"pioeval/internal/storage"
 	"pioeval/internal/trace"
 	"pioeval/internal/validate"
@@ -75,9 +76,15 @@ func PhaseKind(name string) string {
 
 // Config parameterizes one suite execution (one "submission").
 type Config struct {
-	Ranks       int    `json:"ranks"`
-	Device      string `json:"device"` // hdd, ssd, nvme
-	Tier        string `json:"tier"`   // direct, bb, nodelocal
+	Ranks  int    `json:"ranks"`
+	Device string `json:"device"` // hdd, ssd, nvme
+	Tier   string `json:"tier"`   // direct, bb, nodelocal
+	// Compress stacks a data-reduction stage (a reduce preset: lz,
+	// deflate, zfp, sz) over the tier on every step; "" or "none" runs
+	// uncompressed. omitempty keeps uncompressed Result JSON — and the
+	// golden transcripts pinned to it — byte-identical to before the
+	// axis existed.
+	Compress    string `json:"compress,omitempty"`
 	StripeCount int    `json:"stripe_count"`
 	StripeSize  int64  `json:"stripe_size"`
 	Seed        int64  `json:"seed"`
@@ -112,6 +119,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Tier == "" {
 		c.Tier = storage.TierDirect
+	}
+	if c.Compress == "none" {
+		c.Compress = ""
 	}
 	if c.StripeCount <= 0 {
 		c.StripeCount = 4
@@ -156,6 +166,11 @@ func (c Config) Validate() error {
 	default:
 		return fmt.Errorf("io500: unknown tier %q (want %s, %s, or %s)",
 			c.Tier, storage.TierDirect, storage.TierBB, storage.TierNodeLocal)
+	}
+	if c.Compress != "" {
+		if _, ok := reduce.Lookup(c.Compress); !ok {
+			return fmt.Errorf("io500: unknown compressor %q (want none or one of %v)", c.Compress, reduce.Names())
+		}
 	}
 	if c.EasyXfer > c.EasyBlock {
 		return fmt.Errorf("io500: easy transfer size %d exceeds easy block size %d", c.EasyXfer, c.EasyBlock)
@@ -320,6 +335,13 @@ func newStep(cfg Config) *stepEnv {
 	pr, err := storage.NewProvider(s.e, s.fs, cfg.Tier, storage.ProviderConfig{})
 	if err != nil {
 		panic(fmt.Sprintf("io500: unvalidated tier %q: %v", cfg.Tier, err))
+	}
+	if cfg.Compress != "" {
+		comp, err := reduce.New(cfg.Compress)
+		if err != nil {
+			panic(fmt.Sprintf("io500: unvalidated compressor %q: %v", cfg.Compress, err))
+		}
+		pr.Push(comp)
 	}
 	s.pr = pr
 	var col *trace.Collector

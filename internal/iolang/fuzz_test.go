@@ -6,6 +6,9 @@ import (
 	"pioeval/internal/des"
 	"pioeval/internal/iolang"
 	"pioeval/internal/pfs"
+	"pioeval/internal/reduce"
+	"pioeval/internal/storage"
+	"pioeval/internal/trace"
 	"pioeval/internal/validate"
 )
 
@@ -103,6 +106,8 @@ func FuzzInterp(f *testing.F) {
 		"workload \"w\" {\n\tcompute 1000\n\topen \"/f\" create\n\tfsync \"/f\"\n\tclose \"/f\"\n}\n",
 		"workload \"broken\" {",
 		"workload \"w\" {\n\tranks 9999\n\twrite \"/a\" size=99999999999\n}\n",
+		"workload \"comp\" {\n\tranks 2\n\twrite \"/c\" offset=rank*1048576 size=1048576 chunk=262144\n\tbarrier\n\tread \"/c\" offset=rank*1048576 size=1048576\n}\n",
+		"workload \"comp2\" {\n\tloop 2 {\n\t\twrite \"/z\" offset=iter*65536 size=65536\n\t\tfsync \"/z\"\n\t}\n\tstat \"/z\"\n}\n",
 	} {
 		f.Add(s)
 	}
@@ -112,19 +117,45 @@ func FuzzInterp(f *testing.F) {
 			return
 		}
 		sanitize(w)
-		cfg := pfs.DefaultConfig()
-		cfg.NumOSS, cfg.OSTsPerOSS = 2, 1
-		cfg.NumIONodes = 0
-		e := des.NewEngine(1)
-		sim := pfs.New(e, cfg)
-		inv := validate.Attach(e, sim, nil)
-		_, rerr := iolang.Run(e, sim, w, nil)
-		vios := inv.Finish()
-		if rerr != nil {
-			return
+		run := func(compressed bool) {
+			cfg := pfs.DefaultConfig()
+			cfg.NumOSS, cfg.OSTsPerOSS = 2, 1
+			cfg.NumIONodes = 0
+			e := des.NewEngine(1)
+			sim := pfs.New(e, cfg)
+			var col *trace.Collector
+			var pr *storage.Provider
+			if compressed {
+				// The stage-conservation checks reconcile against the POSIX
+				// trace tallies, so the compressed arm needs a collector.
+				col = trace.NewCollector()
+			}
+			inv := validate.Attach(e, sim, col)
+			if compressed {
+				pr, err = storage.NewProvider(e, sim, storage.TierDirect, storage.ProviderConfig{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				comp, err := reduce.New("lz")
+				if err != nil {
+					t.Fatal(err)
+				}
+				pr.Push(comp)
+				inv.ObserveTier(pr)
+			}
+			_, rerr := iolang.RunOn(e, sim, w, col, pr)
+			vios := inv.Finish()
+			if rerr != nil {
+				return
+			}
+			for _, v := range vios {
+				t.Errorf("invariant violation on clean run (compressed=%v): %s\nprogram:\n%s", compressed, v, src)
+			}
 		}
-		for _, v := range vios {
-			t.Errorf("invariant violation on clean run: %s\nprogram:\n%s", v, src)
-		}
+		// Every program runs twice: straight to the PFS, and again through
+		// a compress-stage provider with the stage-conservation and
+		// stage-ratio checkers armed.
+		run(false)
+		run(true)
 	})
 }

@@ -1,0 +1,108 @@
+package reduce
+
+import (
+	"errors"
+	"testing"
+
+	"pioeval/internal/blockdev"
+	"pioeval/internal/burstbuffer"
+	"pioeval/internal/des"
+	"pioeval/internal/faults"
+	"pioeval/internal/pfs"
+	"pioeval/internal/storage"
+)
+
+// TestOSTCrashUnderCompressedBB: the OST dies while the burst buffer is
+// still draining a compressed checkpoint. Everything below the stage —
+// absorption, drain, loss — is accounted in physical (compressed) bytes,
+// while the stage's own books keep the logical view. The two ledgers must
+// reconcile exactly: stage physical == bb absorbed == drained + lost, and
+// the reported DrainError counts physical bytes, not logical ones.
+func TestOSTCrashUnderCompressedBB(t *testing.T) {
+	e := des.NewEngine(31)
+	cfg := pfs.DefaultConfig()
+	cfg.NumOSS, cfg.OSTsPerOSS = 1, 1
+	cfg.NumIONodes = 0
+	cfg.DefaultStripeCount = 1
+	cfg.OSTDevice = func() blockdev.Model { return blockdev.DefaultHDD() }
+	fs := pfs.New(e, cfg)
+	fc, err := faults.ParseCampaign("ostcrash:0@50ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := faults.Run(e, fs, fc); err != nil {
+		t.Fatal(err)
+	}
+
+	pr, err := storage.NewProvider(e, fs, storage.TierBB, storage.ProviderConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := New("lz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr.Push(comp)
+
+	const logical = int64(32 << 20)
+	tgt := pr.Target("cn0")
+	var waitErr, finErr error
+	e.Spawn("app", func(p *des.Proc) {
+		h, cerr := tgt.Create(p, "/ckpt", 0, 0)
+		if cerr != nil {
+			t.Errorf("create: %v", cerr)
+			return
+		}
+		for off := int64(0); off < logical; off += 1 << 20 {
+			if werr := h.Write(p, off, 1<<20); werr != nil {
+				t.Errorf("write at %d: %v", off, werr)
+			}
+		}
+		waitErr = h.Fsync(p) // = WaitDrained under the stage
+		_ = h.Close(p)
+		finErr = pr.Finalize(p)
+	})
+	e.Run(des.MaxTime)
+
+	if waitErr == nil {
+		t.Fatal("fsync returned nil after losing drain segments")
+	}
+	var de *burstbuffer.DrainError
+	if !errors.As(waitErr, &de) {
+		t.Fatalf("fsync error = %T %v, want *burstbuffer.DrainError", waitErr, waitErr)
+	}
+	if !errors.Is(waitErr, pfs.ErrOSTDown) {
+		t.Errorf("drain error should unwrap to ErrOSTDown, got %v", waitErr)
+	}
+	if finErr == nil {
+		t.Error("Finalize swallowed the sticky drain error")
+	}
+
+	st := comp.StageStats()
+	if st.LogicalWritten != logical {
+		t.Fatalf("stage logical books = %d, want %d", st.LogicalWritten, logical)
+	}
+	if st.PhysicalWritten >= logical {
+		t.Fatalf("nothing compressed: %d physical for %d logical", st.PhysicalWritten, logical)
+	}
+	bb := pr.Buffers()[0].Stats()
+	// The buffer sits below the stage: it only ever saw physical bytes.
+	if bb.Absorbed != st.PhysicalWritten {
+		t.Fatalf("bb absorbed %d bytes, stage forwarded %d", bb.Absorbed, st.PhysicalWritten)
+	}
+	if bb.LostBytes == 0 || bb.Drained+bb.LostBytes != bb.Absorbed {
+		t.Fatalf("physical ledger broken: drained %d + lost %d != absorbed %d",
+			bb.Drained, bb.LostBytes, bb.Absorbed)
+	}
+	// The loss report is physical too — smaller than any logical figure.
+	if de.Bytes != bb.LostBytes {
+		t.Errorf("DrainError.Bytes = %d, bb lost %d", de.Bytes, bb.LostBytes)
+	}
+	if de.Bytes >= logical {
+		t.Errorf("loss %d >= logical write %d: loss must be reported in physical bytes", de.Bytes, logical)
+	}
+	// Only successfully drained physical bytes may appear on the PFS.
+	if _, w := fs.TotalBytes(); w != bb.Drained {
+		t.Errorf("PFS received %d bytes, drain accounted %d", w, bb.Drained)
+	}
+}

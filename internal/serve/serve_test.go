@@ -99,14 +99,28 @@ func TestSpecKeyCanonicalization(t *testing.T) {
 		BlockSizes: []int64{16 << 20}, TransferSizes: []int64{1 << 20},
 		Patterns: []string{"sequential"}, Collective: []bool{false},
 		BurstBuffer: []bool{false}, Tiers: []string{""}, Faults: []string{""},
+		Compress: []string{""},
 	}
 	if specKey(implicit) != specKey(explicit) {
 		t.Fatal("defaulted and spelled-out forms of the same spec hash differently")
+	}
+	// The axis spellings "direct" and "none" canonicalize to "", so they
+	// must not mint a second cache entry for the same campaign.
+	spelled := implicit
+	spelled.Tiers = []string{"direct"}
+	spelled.Compress = []string{"none"}
+	if specKey(implicit) != specKey(spelled) {
+		t.Fatal("tier=direct/compress=none spellings hash differently from defaults")
 	}
 	other := implicit
 	other.Seed = 43
 	if specKey(implicit) == specKey(other) {
 		t.Fatal("different seeds hash identically")
+	}
+	compressed := implicit
+	compressed.Compress = []string{"lz"}
+	if specKey(implicit) == specKey(compressed) {
+		t.Fatal("compressed and uncompressed campaigns hash identically")
 	}
 }
 

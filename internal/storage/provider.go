@@ -36,6 +36,7 @@ type Provider struct {
 	buffers map[string]*burstbuffer.Buffer // keyed by I/O node ("" = flat network)
 	order   []*burstbuffer.Buffer          // creation order, for deterministic iteration
 	locals  []*NodeLocal
+	stages  []Stage // innermost first; the last pushed stage is closest to the app
 }
 
 // NewProvider builds a provider for the given tier name ("" means
@@ -65,10 +66,29 @@ func NewProvider(e *des.Engine, fs *pfs.FS, tier string, cfg ProviderConfig) (*P
 // Tier returns the provider's tier name (always one of the Tier constants).
 func (pr *Provider) Tier() string { return pr.tier }
 
-// Target mints the storage target for one compute node. Clients are
+// Push stacks a stage on top of the pipeline: the most recently pushed
+// stage sits closest to the application, wrapping everything pushed
+// before it and the tier at the bottom. Push must happen before the
+// first Target call so every node sees the same stack.
+func (pr *Provider) Push(s Stage) { pr.stages = append(pr.stages, s) }
+
+// Stages returns the stage stack, innermost (closest to the tier) first.
+func (pr *Provider) Stages() []Stage { return pr.stages }
+
+// Target mints the storage target for one compute node: the tier target
+// at the bottom, wrapped by each pushed stage in order. Clients are
 // registered with the cluster in call order, so callers must mint targets
 // in a deterministic order (rank order, in practice).
 func (pr *Provider) Target(node string) Target {
+	t := pr.tierTarget(node)
+	for _, s := range pr.stages {
+		t = s.Wrap(node, t)
+	}
+	return t
+}
+
+// tierTarget mints the bottom-of-stack tier target for one node.
+func (pr *Provider) tierTarget(node string) Target {
 	switch pr.tier {
 	case TierBB:
 		c := pr.fs.NewClient(node)
@@ -105,16 +125,27 @@ func (pr *Provider) Buffers() []*burstbuffer.Buffer { return pr.order }
 // creation order.
 func (pr *Provider) Locals() []*NodeLocal { return pr.locals }
 
-// NeedsFinalize reports whether the provider owns background drain workers
-// that must be finalized from a simulated process before the engine
-// drains — otherwise they count as live procs (a reported deadlock).
-func (pr *Provider) NeedsFinalize() bool { return pr.tier == TierBB && len(pr.order) > 0 }
+// NeedsFinalize reports whether the provider owns end-of-run work: stage
+// flushes, or background drain workers that must be stopped from a
+// simulated process before the engine drains — otherwise they count as
+// live procs (a reported deadlock).
+func (pr *Provider) NeedsFinalize() bool {
+	return len(pr.stages) > 0 || (pr.tier == TierBB && len(pr.order) > 0)
+}
 
-// Finalize waits for every burst buffer to drain, then stops their drain
-// workers. It returns the first drain error encountered (all buffers are
-// still fully drained and shut down on error).
+// Finalize completes the pipeline top-down: stages flush outermost first
+// (each stage's flush may emit writes into the layer below, which must
+// still be live), then every burst buffer drains and its workers stop.
+// The first error encountered is returned, but the whole stack is still
+// flushed, drained, and shut down on error — a failed stage flush must
+// not leave drain workers running.
 func (pr *Provider) Finalize(p *des.Proc) error {
 	var first error
+	for i := len(pr.stages) - 1; i >= 0; i-- {
+		if err := pr.stages[i].Flush(p); err != nil && first == nil {
+			first = fmt.Errorf("storage: stage %s flush: %w", pr.stages[i].Name(), err)
+		}
+	}
 	for _, bb := range pr.order {
 		if err := bb.WaitDrained(p); err != nil && first == nil {
 			first = err

@@ -1,0 +1,163 @@
+package storage
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"pioeval/internal/des"
+)
+
+// markStage is a do-nothing stage that records how the pipeline uses it:
+// which nodes it wrapped, the order Create calls traverse the stack, and
+// when (and in what order) Flush ran.
+type markStage struct {
+	name     string
+	flushErr error
+	wrapped  []string
+	events   *[]string // shared across stages: global traversal order
+}
+
+func (m *markStage) Name() string { return m.name }
+
+func (m *markStage) Wrap(node string, t Target) Target {
+	m.wrapped = append(m.wrapped, node)
+	return &markTarget{st: m, inner: t}
+}
+
+func (m *markStage) Flush(p *des.Proc) error {
+	*m.events = append(*m.events, "flush:"+m.name)
+	return m.flushErr
+}
+
+type markTarget struct {
+	st    *markStage
+	inner Target
+}
+
+func (t *markTarget) Create(p *des.Proc, path string, sc int, ss int64) (Handle, error) {
+	*t.st.events = append(*t.st.events, "create:"+t.st.name)
+	return t.inner.Create(p, path, sc, ss)
+}
+func (t *markTarget) Open(p *des.Proc, path string) (Handle, error) { return t.inner.Open(p, path) }
+func (t *markTarget) Stat(p *des.Proc, path string) (FileInfo, error) {
+	return t.inner.Stat(p, path)
+}
+func (t *markTarget) Mkdir(p *des.Proc, path string) error  { return t.inner.Mkdir(p, path) }
+func (t *markTarget) Rmdir(p *des.Proc, path string) error  { return t.inner.Rmdir(p, path) }
+func (t *markTarget) Unlink(p *des.Proc, path string) error { return t.inner.Unlink(p, path) }
+func (t *markTarget) Readdir(p *des.Proc, path string) ([]string, error) {
+	return t.inner.Readdir(p, path)
+}
+
+// TestStageStackOrder: the last-pushed stage is outermost — application
+// calls traverse it first — and every node's target gets the same stack.
+func TestStageStackOrder(t *testing.T) {
+	e, fs := singleOST(21, false)
+	pr, err := NewProvider(e, fs, TierDirect, ProviderConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []string
+	inner := &markStage{name: "inner", events: &events}
+	outer := &markStage{name: "outer", events: &events}
+	pr.Push(inner)
+	pr.Push(outer)
+	if !pr.NeedsFinalize() {
+		t.Fatal("provider with stages must need finalize")
+	}
+	tgt0, tgt1 := pr.Target("cn0"), pr.Target("cn1")
+	_ = tgt1
+	e.Spawn("app", func(p *des.Proc) {
+		h, cerr := tgt0.Create(p, "/f", 0, 0)
+		if cerr != nil {
+			t.Errorf("create: %v", cerr)
+			return
+		}
+		_ = h.Close(p)
+	})
+	e.Run(des.MaxTime)
+
+	if got := strings.Join(events, ","); got != "create:outer,create:inner" {
+		t.Fatalf("traversal order %q, want outermost first", got)
+	}
+	for _, s := range []*markStage{inner, outer} {
+		if len(s.wrapped) != 2 || s.wrapped[0] != "cn0" || s.wrapped[1] != "cn1" {
+			t.Errorf("stage %s wrapped %v, want both nodes in mint order", s.name, s.wrapped)
+		}
+	}
+}
+
+// TestFinalizeFlushOrderAndFirstError: Finalize flushes outermost-first
+// (a stage's flush may emit writes into the still-live layer below),
+// keeps flushing after a failure, and returns the first error wrapped
+// with the stage name.
+func TestFinalizeFlushOrderAndFirstError(t *testing.T) {
+	e, fs := singleOST(22, false)
+	pr, err := NewProvider(e, fs, TierDirect, ProviderConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []string
+	errOuter := errors.New("outer flush boom")
+	errInner := errors.New("inner flush boom")
+	inner := &markStage{name: "inner", flushErr: errInner, events: &events}
+	outer := &markStage{name: "outer", flushErr: errOuter, events: &events}
+	pr.Push(inner)
+	pr.Push(outer)
+	var finErr error
+	e.Spawn("app", func(p *des.Proc) {
+		finErr = pr.Finalize(p)
+	})
+	e.Run(des.MaxTime)
+
+	if got := strings.Join(events, ","); got != "flush:outer,flush:inner" {
+		t.Fatalf("flush order %q, want outermost first and all stages flushed", got)
+	}
+	if !errors.Is(finErr, errOuter) {
+		t.Fatalf("Finalize = %v, want first (outermost) flush error", finErr)
+	}
+	if !strings.Contains(finErr.Error(), "stage outer") {
+		t.Errorf("error %q does not name the failing stage", finErr)
+	}
+}
+
+// TestFinalizeShutsDownBBAfterFailedFlush: a failed stage flush must not
+// leave burst-buffer drain workers running — the buffer still drains and
+// shuts down, and the flush error (not a drain complaint) comes back.
+func TestFinalizeShutsDownBBAfterFailedFlush(t *testing.T) {
+	e, fs := singleOST(23, false)
+	pr, err := NewProvider(e, fs, TierBB, ProviderConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []string
+	errFlush := errors.New("flush boom")
+	pr.Push(&markStage{name: "bad", flushErr: errFlush, events: &events})
+	tgt := pr.Target("cn0")
+	var finErr error
+	e.Spawn("app", func(p *des.Proc) {
+		h, cerr := tgt.Create(p, "/ckpt", 0, 0)
+		if cerr != nil {
+			t.Errorf("create: %v", cerr)
+			return
+		}
+		for off := int64(0); off < 8<<20; off += 1 << 20 {
+			_ = h.Write(p, off, 1<<20)
+		}
+		_ = h.Close(p)
+		finErr = pr.Finalize(p)
+	})
+	e.Run(des.MaxTime) // deadlocks (and fails the run) if workers leak
+
+	if !errors.Is(finErr, errFlush) {
+		t.Fatalf("Finalize = %v, want the stage flush error", finErr)
+	}
+	st := pr.Buffers()[0].Stats()
+	if st.Drained != st.Absorbed || st.Absorbed != 8<<20 {
+		t.Fatalf("buffer not drained after failed flush: %+v", st)
+	}
+	if st.Used != 0 {
+		t.Errorf("staging not emptied: %d bytes", st.Used)
+	}
+}

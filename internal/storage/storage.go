@@ -10,6 +10,9 @@
 // tiering experiment), and NodeLocal (node-local scratch with no MDS
 // round-trips). Provider mints per-compute-node Targets of one tier over
 // a shared cluster, so harnesses select the backend with a single string.
+// Stages (middleware implementing the Stage interface, e.g. the
+// internal/reduce compressors) stack on top of any tier, turning the
+// closed set of targets into a composable pipeline.
 package storage
 
 import (
@@ -67,6 +70,58 @@ type Handle interface {
 	Fsync(p *des.Proc) error
 	// Close releases the handle, flushing any buffered writes.
 	Close(p *des.Proc) error
+}
+
+// Stage is middleware in the storage pipeline: it wraps the Target below
+// it (a tier, or another stage) and returns a Target with the stage's
+// transformation applied, so filters and tiers compose —
+// compress(bb(direct)), compress(nodelocal). One Stage instance is shared
+// by every node's wrapped target, which lets it aggregate whole-run
+// accounting; Wrap is called once per node at Target-mint time.
+type Stage interface {
+	// Name identifies the stage for stats and error messages.
+	Name() string
+	// Wrap returns the stage's view over the target below for one node.
+	Wrap(node string, t Target) Target
+	// Flush completes any work the stage buffered (called by
+	// Provider.Finalize outermost-first, before the tier below drains).
+	Flush(p *des.Proc) error
+}
+
+// StageStats is the logical-vs-physical accounting a stage exposes: bytes
+// the application asked for versus bytes forwarded to the layer below,
+// plus the simulated CPU time the transformation charged. Conservation
+// across a stage boundary is LogicalWritten ≈ PhysicalWritten × ratio.
+type StageStats struct {
+	// LogicalWritten / LogicalRead are application-visible bytes.
+	LogicalWritten int64
+	LogicalRead    int64
+	// PhysicalWritten / PhysicalRead are bytes forwarded below the stage.
+	PhysicalWritten int64
+	PhysicalRead    int64
+	// WriteOps / ReadOps count successful data operations through the stage.
+	WriteOps int64
+	ReadOps  int64
+	// CompressSeconds / DecompressSeconds are simulated CPU time charged.
+	CompressSeconds   float64
+	DecompressSeconds float64
+}
+
+// Ratio is the achieved reduction factor on the write path
+// (logical / physical), or 1 when nothing was written.
+func (s StageStats) Ratio() float64 {
+	if s.PhysicalWritten <= 0 {
+		return 1
+	}
+	return float64(s.LogicalWritten) / float64(s.PhysicalWritten)
+}
+
+// StageAccounting is implemented by stages that track logical-vs-physical
+// byte flow; the validate invariants type-assert against it to check
+// conservation across each stage boundary without importing the stage's
+// package.
+type StageAccounting interface {
+	StageStats() StageStats
 }
 
 // Target is the data-path surface extracted from pfs.Client: file

@@ -27,14 +27,14 @@ func (r *Report) WriteJSON(w io.Writer) error {
 func (r *Report) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	names := MetricNames()
-	header := append([]string{"index", "device", "tier", "ranks", "seed"}, names...)
+	header := append([]string{"index", "device", "tier", "compress", "ranks", "seed"}, names...)
 	header = append(header, "bottleneck", "bottleneck_gain")
 	if err := cw.Write(header); err != nil {
 		return err
 	}
 	for i, s := range r.Corpus.Submissions {
 		row := []string{
-			strconv.Itoa(i), s.Config.Device, s.Config.Tier,
+			strconv.Itoa(i), s.Config.Device, s.Config.Tier, s.Config.Compress,
 			strconv.Itoa(s.Config.Ranks), strconv.FormatInt(s.Config.Seed, 10),
 		}
 		for _, n := range names {
@@ -54,8 +54,12 @@ func (r *Report) WriteCSV(w io.Writer) error {
 // the phase-vs-total-score correlation column, and the bottleneck tally.
 func (r *Report) WriteText(w io.Writer) error {
 	a := r.Analysis
-	if _, err := fmt.Fprintf(w, "IO500 submission-corpus survey: %d submissions (%d devices x %d tiers x %d rank counts)\n",
-		a.N, len(r.Corpus.Grid.Devices), len(r.Corpus.Grid.Tiers), len(r.Corpus.Grid.Ranks)); err != nil {
+	dims := fmt.Sprintf("%d devices x %d tiers x %d rank counts",
+		len(r.Corpus.Grid.Devices), len(r.Corpus.Grid.Tiers), len(r.Corpus.Grid.Ranks))
+	if n := len(r.Corpus.Grid.Compress); n > 1 {
+		dims += fmt.Sprintf(" x %d compressors", n)
+	}
+	if _, err := fmt.Fprintf(w, "IO500 submission-corpus survey: %d submissions (%s)\n", a.N, dims); err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "\n%-22s %12s %12s %12s %12s %8s\n", "metric", "median", "p25", "p95", "max", "CV")

@@ -23,6 +23,11 @@ type Grid struct {
 	Devices []string `json:"devices"`
 	Tiers   []string `json:"tiers"`
 	Ranks   []int    `json:"ranks"`
+	// Compress sweeps the data-reduction stage ("" or "none" =
+	// uncompressed). Empty means the single uncompressed point, which
+	// leaves the grid's point list — and every point's derived seed —
+	// identical to a pre-axis grid, so recorded corpora stay valid.
+	Compress []string `json:"compress,omitempty"`
 	// Base supplies the suite sizing (block/xfer/file counts); its
 	// Ranks/Device/Tier/Seed fields are overwritten per grid point.
 	Base io500.Config `json:"base"`
@@ -38,21 +43,31 @@ type Grid struct {
 }
 
 // Points expands the grid cross product in deterministic order:
-// device-major, then tier, then ranks.
+// device-major, then tier, then ranks, then compressor.
 func (g Grid) Points() []io500.Config {
+	comps := g.Compress
+	if len(comps) == 0 {
+		comps = []string{""}
+	}
 	var out []io500.Config
 	i := 0
 	for _, dev := range g.Devices {
 		for _, tier := range g.Tiers {
 			for _, r := range g.Ranks {
-				cfg := g.Base
-				cfg.Device = dev
-				cfg.Tier = tier
-				cfg.Ranks = r
-				cfg.Seed = campaign.RunSeed(g.Seed, i)
-				cfg.Workers = 1
-				out = append(out, cfg)
-				i++
+				for _, comp := range comps {
+					if comp == "none" {
+						comp = ""
+					}
+					cfg := g.Base
+					cfg.Device = dev
+					cfg.Tier = tier
+					cfg.Ranks = r
+					cfg.Compress = comp
+					cfg.Seed = campaign.RunSeed(g.Seed, i)
+					cfg.Workers = 1
+					out = append(out, cfg)
+					i++
+				}
 			}
 		}
 	}
@@ -134,11 +149,12 @@ type MetricSummary struct {
 // lift to the corpus median would raise this submission's total score
 // the most.
 type Bottleneck struct {
-	Index  int     `json:"index"`
-	Device string  `json:"device"`
-	Tier   string  `json:"tier"`
-	Ranks  int     `json:"ranks"`
-	Score  float64 `json:"score"`
+	Index    int     `json:"index"`
+	Device   string  `json:"device"`
+	Tier     string  `json:"tier"`
+	Compress string  `json:"compress,omitempty"`
+	Ranks    int     `json:"ranks"`
+	Score    float64 `json:"score"`
 	// Phase is the attributed bottleneck ("" when the submission is at
 	// or above the corpus median in every phase).
 	Phase string `json:"phase"`
@@ -219,6 +235,7 @@ func Analyze(c *Corpus) (*Analysis, error) {
 		b.Index = i
 		b.Device = s.Config.Device
 		b.Tier = s.Config.Tier
+		b.Compress = s.Config.Compress
 		b.Ranks = s.Config.Ranks
 		a.Bottlenecks = append(a.Bottlenecks, b)
 		if b.Phase != "" {

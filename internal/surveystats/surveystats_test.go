@@ -213,13 +213,13 @@ func TestCSVWellFormed(t *testing.T) {
 	if len(rows) != 1+len(c.Submissions) {
 		t.Fatalf("csv rows = %d, want %d", len(rows), 1+len(c.Submissions))
 	}
-	wantCols := 5 + len(MetricNames()) + 2
+	wantCols := 6 + len(MetricNames()) + 2
 	for i, row := range rows {
 		if len(row) != wantCols {
 			t.Fatalf("csv row %d has %d cols, want %d", i, len(row), wantCols)
 		}
 	}
-	if !strings.HasPrefix(strings.Join(rows[0], ","), "index,device,tier,ranks,seed,ior-easy-write") {
+	if !strings.HasPrefix(strings.Join(rows[0], ","), "index,device,tier,compress,ranks,seed,ior-easy-write") {
 		t.Errorf("csv header = %v", rows[0])
 	}
 }

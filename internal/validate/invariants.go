@@ -2,6 +2,7 @@ package validate
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"pioeval/internal/des"
@@ -42,6 +43,12 @@ const maxRetained = 64
 //   - layer-ordering: MPI-IO requested bytes never exceed POSIX bytes,
 //     and POSIX bytes never exceed PFS-client bytes (aggregation hole
 //     padding and data sieving only ever inflate the lower layer).
+//   - stage-conservation / stage-ratio: with storage stages pushed on the
+//     provider (ObserveTier arms this too), every logical byte entering a
+//     stage is accounted, each stage's physical output feeds the layer
+//     below exactly, and logical == physical x ratio within the ceil-per-op
+//     rounding slop (1.2%). The tier checks below the stack then run
+//     against the innermost stage's physical bytes.
 type Invariants struct {
 	eng *des.Engine
 	fs  *pfs.FS
@@ -246,8 +253,42 @@ func (inv *Invariants) Finish() []Violation {
 		if inv.provider != nil {
 			tier = inv.provider.Tier()
 		}
-		switch tier {
-		case storage.TierBB:
+		// Walk the stage stack outermost-first: each stage's logical bytes
+		// must match what the layer above produced, and its physical bytes
+		// become the expectation for the layer below. The tier checks then
+		// run against the innermost stage's physical output instead of the
+		// raw POSIX tallies.
+		posixWrite, posixRead := inv.posixWrite, inv.posixRead
+		checkable := true
+		if inv.provider != nil {
+			stages := inv.provider.Stages()
+			for i := len(stages) - 1; i >= 0; i-- {
+				acct, ok := stages[i].(storage.StageAccounting)
+				if !ok {
+					// An unaccounted stage hides the byte flow below it; the
+					// remaining boundary checks would be guesses.
+					checkable = false
+					break
+				}
+				st := acct.StageStats()
+				if st.LogicalWritten != posixWrite {
+					inv.violatef("stage-conservation", "stage %s saw %d logical bytes written but the layer above produced %d (Δ %d)",
+						stages[i].Name(), st.LogicalWritten, posixWrite, st.LogicalWritten-posixWrite)
+				}
+				if st.LogicalRead != posixRead {
+					inv.violatef("stage-conservation", "stage %s served %d logical bytes read but the layer above requested %d (Δ %d)",
+						stages[i].Name(), st.LogicalRead, posixRead, st.LogicalRead-posixRead)
+				}
+				if rm, ok := stages[i].(interface{ ModelRatio() float64 }); ok {
+					inv.checkStageRatio(stages[i].Name(), st, rm.ModelRatio())
+				}
+				posixWrite, posixRead = st.PhysicalWritten, st.PhysicalRead
+			}
+		}
+		switch {
+		case !checkable:
+			// Nothing below the unaccounted stage can be checked.
+		case tier == storage.TierBB:
 			// Byte conservation across the tier boundary: POSIX → staged →
 			// drained → PFS client → OST, with reads split between staging
 			// hits and read-through misses.
@@ -260,9 +301,9 @@ func (inv *Invariants) Finish() []Violation {
 				bufReads += st.BufReads
 				missReads += st.MissReads
 			}
-			if inv.posixWrite != absorbed {
+			if posixWrite != absorbed {
 				inv.violatef("tier-conservation", "POSIX wrote %d bytes but burst buffers absorbed %d (Δ %d)",
-					inv.posixWrite, absorbed, inv.posixWrite-absorbed)
+					posixWrite, absorbed, posixWrite-absorbed)
 			}
 			if drained != absorbed {
 				inv.violatef("tier-conservation", "burst buffers absorbed %d bytes but drained %d (Δ %d; fault-free drains must conserve bytes)",
@@ -275,15 +316,15 @@ func (inv *Invariants) Finish() []Violation {
 				inv.violatef("tier-conservation", "burst buffers drained %d bytes but PFS clients wrote %d (Δ %d)",
 					drained, inv.clientWrite, drained-inv.clientWrite)
 			}
-			if inv.posixRead != bufReads+missReads {
+			if posixRead != bufReads+missReads {
 				inv.violatef("tier-conservation", "POSIX read %d bytes but buffers served %d staged + %d read-through",
-					inv.posixRead, bufReads, missReads)
+					posixRead, bufReads, missReads)
 			}
 			if inv.fs.Config().ClientReadahead == 0 && missReads != inv.clientRead {
 				inv.violatef("tier-conservation", "buffers read %d bytes through the PFS but clients recorded %d",
 					missReads, inv.clientRead)
 			}
-		case storage.TierNodeLocal:
+		case tier == storage.TierNodeLocal:
 			// Scratch traffic must stay on the scratch devices.
 			var localRead, localWrite int64
 			for _, nl := range inv.provider.Locals() {
@@ -291,24 +332,24 @@ func (inv *Invariants) Finish() []Violation {
 				localRead += st.BytesRead
 				localWrite += st.BytesWritten
 			}
-			if inv.posixWrite != localWrite {
+			if posixWrite != localWrite {
 				inv.violatef("tier-conservation", "POSIX wrote %d bytes but scratch devices received %d (Δ %d)",
-					inv.posixWrite, localWrite, inv.posixWrite-localWrite)
+					posixWrite, localWrite, posixWrite-localWrite)
 			}
-			if inv.posixRead != localRead {
+			if posixRead != localRead {
 				inv.violatef("tier-conservation", "POSIX read %d bytes but scratch devices served %d (Δ %d)",
-					inv.posixRead, localRead, inv.posixRead-localRead)
+					posixRead, localRead, posixRead-localRead)
 			}
 			if inv.clientWrite != 0 || inv.clientRead != 0 {
 				inv.violatef("tier-conservation", "node-local tier leaked PFS client traffic: %d written, %d read",
 					inv.clientWrite, inv.clientRead)
 			}
 		default:
-			if inv.posixWrite > inv.clientWrite {
-				inv.violatef("layer-ordering", "POSIX wrote %d bytes but PFS clients only %d", inv.posixWrite, inv.clientWrite)
+			if posixWrite > inv.clientWrite {
+				inv.violatef("layer-ordering", "POSIX wrote %d bytes but PFS clients only %d", posixWrite, inv.clientWrite)
 			}
-			if inv.posixRead > inv.clientRead {
-				inv.violatef("layer-ordering", "POSIX read %d bytes but PFS clients only %d", inv.posixRead, inv.clientRead)
+			if posixRead > inv.clientRead {
+				inv.violatef("layer-ordering", "POSIX read %d bytes but PFS clients only %d", posixRead, inv.clientRead)
 			}
 		}
 	} else {
@@ -326,6 +367,26 @@ func (inv *Invariants) Finish() []Violation {
 		})
 	}
 	return inv.vios
+}
+
+// checkStageRatio verifies the data-reduction identity across one stage
+// boundary: logical bytes == physical bytes x configured ratio, within a
+// 1.2% relative tolerance plus one ratio's worth of slop per operation
+// (the stage forwards ceil(size/ratio), so each op may round up by a
+// fraction of a physical byte). Both directions are checked.
+func (inv *Invariants) checkStageRatio(name string, st storage.StageStats, ratio float64) {
+	check := func(dir string, logical, physical, ops int64) {
+		if logical <= 0 {
+			return
+		}
+		slop := 0.012*float64(logical) + ratio*float64(ops)
+		if diff := math.Abs(float64(logical) - float64(physical)*ratio); diff > slop {
+			inv.violatef("stage-ratio", "stage %s %s %d logical bytes vs %d physical x ratio %.3g = %.0f (Δ %.0f exceeds slop %.0f)",
+				name, dir, logical, physical, ratio, float64(physical)*ratio, diff, slop)
+		}
+	}
+	check("wrote", st.LogicalWritten, st.PhysicalWritten, st.WriteOps)
+	check("read", st.LogicalRead, st.PhysicalRead, st.ReadOps)
 }
 
 // Violations returns what has been recorded so far without running the

@@ -11,6 +11,7 @@ import (
 	"pioeval/internal/mpiio"
 	"pioeval/internal/pfs"
 	"pioeval/internal/posixio"
+	"pioeval/internal/reduce"
 	"pioeval/internal/storage"
 )
 
@@ -66,6 +67,7 @@ func RunOracles(seed int64) []OracleResult {
 		OracleCollectiveVolume(seed),
 		OracleBurstBufferDrain(seed),
 		OracleTieredDrain(seed),
+		OracleCompressedStream(seed),
 	}
 }
 
@@ -283,6 +285,72 @@ func OracleBurstBufferDrain(seed int64) OracleResult {
 		Tol:       0.05,
 		Detail: fmt.Sprintf("%d MiB burst in %d KiB segments, 1 drain worker; drain = first-segment staging + bytes × (ssdRead + link + devWrite)",
 			total>>20, seg>>10),
+	}
+}
+
+// OracleCompressedStream checks the data-reduction stage's cost model:
+// one rank streaming through a compressor over the direct tier pays, per
+// chunk, the compression CPU time plus the shrunken physical transfer
+// (ceil(chunk/ratio) bytes through the serialized network+device
+// pipeline). Elapsed time must match that closed form — the stage may
+// add only per-RPC metadata noise inside the tolerance.
+func OracleCompressedStream(seed int64) OracleResult {
+	const (
+		total = int64(64 << 20)
+		chunk = int64(4 << 20)
+	)
+	cfg := pfs.DefaultConfig()
+	cfg.NumOSS, cfg.OSTsPerOSS = 1, 1
+	cfg.NumIONodes = 0
+	cfg.DefaultStripeCount = 1
+
+	e := des.NewEngine(seed)
+	fs := pfs.New(e, cfg)
+	pr, err := storage.NewProvider(e, fs, storage.TierDirect, storage.ProviderConfig{})
+	if err != nil {
+		panic(fmt.Sprintf("validate: oracle provider: %v", err))
+	}
+	comp, err := reduce.New("lz")
+	if err != nil {
+		panic(fmt.Sprintf("validate: oracle compressor: %v", err))
+	}
+	pr.Push(comp)
+	env := posixio.NewEnv(pr.Target("cn0"), 0, nil)
+	var elapsed des.Time
+	e.Spawn("oracle.compressed-stream", func(p *des.Proc) {
+		fd, err := env.Open(p, "/stream", posixio.OCreate)
+		if err != nil {
+			panic(fmt.Sprintf("validate: oracle compressed open: %v", err))
+		}
+		start := p.Now()
+		for off := int64(0); off < total; off += chunk {
+			if _, werr := env.Pwrite(p, fd, off, chunk); werr != nil {
+				panic(fmt.Sprintf("validate: oracle compressed write: %v", werr))
+			}
+		}
+		elapsed = p.Now() - start
+		_ = env.Close(p, fd)
+	})
+	e.Run(des.MaxTime)
+
+	m := comp.Model()
+	st := comp.StageStats()
+	if st.LogicalWritten != total {
+		panic(fmt.Sprintf("validate: oracle compressed stage accounted %d of %d bytes", st.LogicalWritten, total))
+	}
+	physPerOp := math.Ceil(float64(chunk) / m.Ratio)
+	cpuPerOp := (float64(chunk) + float64(m.RampBytes)) / (m.CompressMBps * 1e6)
+	dcfg := fs.Config()
+	perByte := 1/float64(dcfg.ComputeFabric.LinkBandwidth) + devSecPerByte(dcfg.OSTDevice(), true)
+	perOp := cpuPerOp + physPerOp*perByte
+	return OracleResult{
+		Name:      "compressed-stream-bandwidth",
+		Unit:      "MB/s",
+		Expected:  float64(chunk) / perOp / 1e6,
+		Simulated: float64(total) / elapsed.Seconds() / 1e6,
+		Tol:       0.05,
+		Detail: fmt.Sprintf("1 rank, %d MiB sequential through the %s stage (ratio %.2g) over direct; per chunk = compress CPU + ceil(chunk/ratio) x (1/link + devPerByte)",
+			total>>20, m.Name, m.Ratio),
 	}
 }
 
